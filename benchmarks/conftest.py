@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Every paper table/figure has one benchmark module.  Full-size runs are
+simulated once per benchmark (``rounds=1``) — pytest-benchmark then
+reports the *simulator's* wall cost while the assertions inside each
+benchmark check the *simulated* results against the paper's numbers.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """benchmark.pedantic with a single round (experiments are
+    deterministic; repeating them only re-measures the same numbers)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""The SIESTA story: scheduling latency, not balance (paper §V-D).
+
+Runs a latency-sensitive irregular application (frequent tiny compute
+phases + global reductions) with OS-noise daemons on every CPU, under
+CFS and under HPCSched, and decomposes where the improvement comes
+from: wakeup latencies collapse and the daemons are starved while HPC
+work is runnable, while the utilization balance barely moves.
+
+Usage::
+
+    python examples/os_noise_latency.py
+"""
+
+from repro import NoiseDaemons, Siesta, run_experiment
+
+SCF_STEPS = 6
+
+
+def main() -> None:
+    noise = NoiseDaemons()
+    print(
+        f"OS noise: one daemon per CPU, {noise.duty * 100:.1f}% duty "
+        f"({noise.burst * 1e3:.2f} ms every {noise.period * 1e3:.0f} ms)\n"
+    )
+
+    base = run_experiment(Siesta(scf_steps=SCF_STEPS), "cfs", noise=noise)
+    hpc = run_experiment(Siesta(scf_steps=SCF_STEPS), "adaptive", noise=noise)
+
+    print(f"{'':<12}{'CFS':>12}{'HPCSched':>12}")
+    print(f"{'exec time':<12}{base.exec_time:>11.2f}s{hpc.exec_time:>11.2f}s")
+    print(
+        f"{'mean latency':<12}{base.mean_wakeup_latency * 1e6:>10.1f}us"
+        f"{hpc.mean_wakeup_latency * 1e6:>10.1f}us"
+    )
+    print(
+        f"{'max latency':<12}{base.max_wakeup_latency * 1e3:>10.2f}ms"
+        f"{hpc.max_wakeup_latency * 1e3:>10.2f}ms"
+    )
+    print()
+    print(f"{'rank':<6}{'%comp CFS':>11}{'%comp HPCSched':>16}")
+    for name in sorted(base.tasks):
+        print(
+            f"{name:<6}{base.tasks[name].pct_comp:>10.1f}%"
+            f"{hpc.tasks[name].pct_comp:>15.1f}%"
+        )
+    print(
+        f"\nimprovement: {hpc.improvement_over(base):.1f}% — from the "
+        "scheduling policy (class ordering + latency), not from balance."
+    )
+
+
+if __name__ == "__main__":
+    main()

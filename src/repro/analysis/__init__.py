@@ -1,0 +1,18 @@
+"""Analysis utilities: metrics, table formatting, model calibration."""
+
+from repro.analysis.metrics import (
+    speedup,
+    percent_improvement,
+    imbalance_percent,
+    critical_path_bound,
+)
+from repro.analysis.tables import format_characterization_table, format_comparison
+
+__all__ = [
+    "speedup",
+    "percent_improvement",
+    "imbalance_percent",
+    "critical_path_bound",
+    "format_characterization_table",
+    "format_comparison",
+]

@@ -1,0 +1,42 @@
+"""Performance and imbalance metrics."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def speedup(baseline_time: float, new_time: float) -> float:
+    """Classic speedup ``t_base / t_new``."""
+    if new_time <= 0:
+        raise ValueError("new_time must be positive")
+    return baseline_time / new_time
+
+
+def percent_improvement(baseline_time: float, new_time: float) -> float:
+    """The paper's headline metric: % execution-time reduction."""
+    if baseline_time <= 0:
+        raise ValueError("baseline_time must be positive")
+    return 100.0 * (baseline_time - new_time) / baseline_time
+
+
+def imbalance_percent(utils: Sequence[float]) -> float:
+    """Load imbalance as the spread of per-task utilization (points).
+
+    0 for a perfectly balanced application; ~75 for baseline MetBench.
+    """
+    if not utils:
+        return 0.0
+    return (max(utils) - min(utils)) * (
+        100.0 if max(utils) <= 1.0 + 1e-9 else 1.0
+    )
+
+
+def critical_path_bound(works: Iterable[float], speed: float = 1.0) -> float:
+    """Lower bound on iteration time: the largest per-task work at the
+    given execution speed (useful for sanity-checking experiments)."""
+    works = list(works)
+    if not works:
+        return 0.0
+    if speed <= 0:
+        raise ValueError("speed must be positive")
+    return max(works) / speed

@@ -1,0 +1,99 @@
+"""Paper-style table rendering.
+
+Tables III-VI of the paper share one format: per scheduler
+configuration, one row per process with %Comp and (static) priority,
+plus the total execution time.  :func:`format_characterization_table`
+renders exactly that; :func:`format_comparison` adds the paper's
+numbers side by side so EXPERIMENTS.md and the benchmarks print
+reproduction deltas directly.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.experiments.common import ExperimentResult
+
+_LABEL = {
+    "cfs": "Baseline 2.6.24",
+    "static": "Static",
+    "uniform": "Uniform",
+    "adaptive": "Adaptive",
+}
+
+
+def format_characterization_table(
+    results: Sequence[ExperimentResult],
+    title: str = "",
+) -> str:
+    """Render results in the paper's Table III-VI layout."""
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'Test':<18}{'Proc':<7}{'% Comp':>8}  {'Priority':>8}  {'Exec. Time':>11}")
+    lines.append("-" * 56)
+    for res in results:
+        label = _LABEL.get(res.scheduler, res.scheduler)
+        first = True
+        for name in sorted(res.tasks, key=_proc_key):
+            tr = res.tasks[name]
+            prio = str(tr.priority) if tr.priority is not None else "-"
+            exec_s = f"{res.exec_time:.2f}s" if first else ""
+            lines.append(
+                f"{label if first else '':<18}{name:<7}{tr.pct_comp:>8.2f}  {prio:>8}  {exec_s:>11}"
+            )
+            first = False
+    return "\n".join(lines)
+
+
+def format_comparison(
+    results: Mapping[str, ExperimentResult],
+    paper_exec: Mapping[str, float],
+    paper_comp: Optional[Mapping[str, Mapping[str, float]]] = None,
+    title: str = "",
+) -> str:
+    """Measured-vs-paper summary for a whole experiment."""
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'Scheduler':<12}{'exec (sim)':>12}{'exec (paper)':>14}{'delta':>9}"
+    )
+    lines.append("-" * 47)
+    base = results.get("cfs")
+    for sched, res in results.items():
+        paper = paper_exec.get(sched)
+        delta = (
+            f"{100.0 * (res.exec_time - paper) / paper:+.1f}%"
+            if paper
+            else "n/a"
+        )
+        lines.append(
+            f"{sched:<12}{res.exec_time:>11.2f}s{(f'{paper:.2f}s' if paper else 'n/a'):>14}{delta:>9}"
+        )
+    if base is not None:
+        for sched, res in results.items():
+            if sched == "cfs":
+                continue
+            lines.append(
+                f"  improvement {sched} over cfs: {res.improvement_over(base):.1f}%"
+            )
+    if paper_comp:
+        lines.append("")
+        lines.append("per-process %Comp (sim / paper):")
+        for sched, res in results.items():
+            comp = paper_comp.get(sched)
+            if not comp:
+                continue
+            cells = ", ".join(
+                f"{n}={res.tasks[n].pct_comp:.1f}/{comp[n]:.1f}"
+                for n in sorted(comp, key=_proc_key)
+                if n in res.tasks
+            )
+            lines.append(f"  {sched}: {cells}")
+    return "\n".join(lines)
+
+
+def _proc_key(name: str):
+    digits = "".join(c for c in name if c.isdigit())
+    return (name.rstrip("0123456789"), int(digits) if digits else -1)

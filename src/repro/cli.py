@@ -1,0 +1,182 @@
+"""Command-line interface: ``repro-hpcsched`` / ``python -m repro``.
+
+Subcommands:
+
+* ``list``                      — show the experiment ids,
+* ``run <experiment-id>``       — run one experiment and print the
+  paper-style table / figure output,
+* ``table1`` .. shortcuts map straight to ``run``.
+
+Examples::
+
+    repro-hpcsched list
+    repro-hpcsched run table3
+    repro-hpcsched run fig4
+    repro-hpcsched run ablation_latency
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments.registry import all_ids, run_by_id
+
+
+def _print_result(exp_id: str, result) -> None:
+    from repro.analysis.tables import format_characterization_table, format_comparison
+    from repro.experiments.common import ExperimentResult
+
+    if isinstance(result, dict) and result and all(
+        isinstance(v, ExperimentResult) for v in result.values()
+    ):
+        paper_exec = _paper_exec_for(exp_id)
+        print(format_characterization_table(list(result.values()), title=exp_id))
+        if paper_exec:
+            print()
+            print(format_comparison(result, paper_exec, title="vs. paper:"))
+        return
+    if isinstance(result, dict):
+        for key, value in result.items():
+            if isinstance(value, dict) and "gantt" in value:
+                print(f"== {key} (exec {value.get('exec_time', 0):.2f}s) ==")
+                print(value["gantt"])
+            elif isinstance(value, str) and "\n" in value:
+                print(value)
+            else:
+                print(f"{key}: {value}")
+        return
+    print(result)
+
+
+def _paper_exec_for(exp_id: str):
+    mapping = {
+        "table3": "repro.experiments.metbench",
+        "table4": "repro.experiments.metbenchvar",
+        "table5": "repro.experiments.btmz",
+        "table6": "repro.experiments.siesta",
+    }
+    mod_name = mapping.get(exp_id)
+    if mod_name is None:
+        return None
+    import importlib
+
+    return getattr(importlib.import_module(mod_name), "PAPER_EXEC", None)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-hpcsched",
+        description=(
+            "HPCSched reproduction (Boneti et al., SC 2008): run the "
+            "paper's experiments on the simulated POWER5/Linux stack."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list experiment ids")
+    runp = sub.add_parser("run", help="run one experiment")
+    runp.add_argument("experiment", help="experiment id (see 'list')")
+    runp.add_argument(
+        "--iterations", type=int, default=None, help="override iteration count"
+    )
+    exp = sub.add_parser(
+        "export",
+        help="run one workload+scheduler and write trace artifacts "
+        "(.prv, CSVs, gantt)",
+    )
+    exp.add_argument(
+        "workload", choices=["metbench", "metbenchvar", "btmz", "siesta"]
+    )
+    exp.add_argument(
+        "scheduler", choices=["cfs", "static", "uniform", "adaptive", "hybrid"]
+    )
+    exp.add_argument("--out", default="artifacts", help="output directory")
+    exp.add_argument("--iterations", type=int, default=None)
+    rep = sub.add_parser(
+        "report",
+        help="run the full evaluation (tables 1+3-6) and print the "
+        "paper-vs-measured report",
+    )
+    rep.add_argument(
+        "--quick", action="store_true",
+        help="reduced iteration counts (fast smoke report)",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "list" or args.command is None:
+        for exp_id in all_ids():
+            print(exp_id)
+        return 0
+    if args.command == "run":
+        kwargs = {}
+        if args.iterations is not None:
+            kwargs["iterations"] = args.iterations
+        try:
+            result = run_by_id(args.experiment, **kwargs)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        except TypeError:
+            # experiment does not take an 'iterations' parameter
+            result = run_by_id(args.experiment)
+        _print_result(args.experiment, result)
+        return 0
+    if args.command == "export":
+        return _export(args)
+    if args.command == "report":
+        return _report(quick=args.quick)
+    parser.print_help()
+    return 1
+
+
+def _report(quick: bool = False) -> int:
+    """Regenerate the whole evaluation and print EXPERIMENTS-style
+    comparisons."""
+    import importlib
+
+    from repro.analysis.tables import format_characterization_table, format_comparison
+
+    t1 = run_by_id("table1")
+    print(t1["rendered"])
+    status = "exact" if t1["table1_exact"] and t1["table2_exact"] else "MISMATCH"
+    print(f"Tables I/II: {status}\n")
+
+    plans = {
+        "table3": ("metbench", {"iterations": 8} if quick else {}),
+        "table4": ("metbenchvar", {"iterations": 9, "k": 3} if quick else {}),
+        "table5": ("btmz", {"iterations": 30} if quick else {}),
+        "table6": ("siesta", {"scf_steps": 4} if quick else {}),
+    }
+    for exp_id, (mod_name, kwargs) in plans.items():
+        mod = importlib.import_module(f"repro.experiments.{mod_name}")
+        results = run_by_id(exp_id, **kwargs)
+        title = f"=== {exp_id} ({mod_name}) ==="
+        print(title)
+        print(format_characterization_table(list(results.values())))
+        if not quick:
+            print(format_comparison(results, mod.PAPER_EXEC, mod.PAPER_COMP))
+        print()
+    return 0
+
+
+def _export(args) -> int:
+    import importlib
+
+    from repro.trace.export import write_bundle
+
+    mod = importlib.import_module(f"repro.experiments.{args.workload}")
+    kwargs = {"keep_trace": True}
+    if args.iterations is not None and args.workload != "siesta":
+        kwargs["iterations"] = args.iterations
+    result = mod.run_one(args.scheduler, **kwargs)
+    paths = write_bundle(result, args.out)
+    print(f"exec time: {result.exec_time:.2f}s")
+    for p in paths:
+        print(f"wrote {p}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Cluster-level gang scheduling — the paper's §VI future work.
+
+"HPCSched is a task scheduler able to balance HPC applications inside a
+node, but modern Supercomputers consist of thousands of nodes.  In this
+case there is another level of load balancing which consists of
+assigning the correct group of tasks to each node (gang scheduling)
+considering that the local scheduler is able to dynamically assign more
+or less hardware resources to each task."
+
+This package implements exactly that layer on top of the per-node
+simulated kernels:
+
+* :class:`~repro.cluster.cluster.Cluster` — N nodes (one kernel each,
+  HPCSched attached per node) sharing a single simulated clock, with an
+  interconnect that charges higher latency for inter-node messages;
+* :mod:`repro.cluster.gang` — placement strategies: naive ``block``
+  placement versus HPCSched-aware ``gang`` placement, which pairs heavy
+  and light ranks on each SMT core (so the ±2 hardware-priority window
+  can absorb the pair's imbalance) and equalizes total load per node.
+"""
+
+from repro.cluster.cluster import Cluster, ClusterNode, InterconnectModel
+from repro.cluster.gang import GangPlacement, block_placement, gang_placement
+
+__all__ = [
+    "Cluster",
+    "ClusterNode",
+    "InterconnectModel",
+    "GangPlacement",
+    "block_placement",
+    "gang_placement",
+]

@@ -1,0 +1,31 @@
+"""Experiment harness reproducing the paper's evaluation (§V).
+
+Each experiment runs one workload under up to four scheduler
+configurations:
+
+* ``cfs``      — baseline: standard Linux 2.6.24 CFS (Tables: "Baseline"),
+* ``static``   — CFS + hand-tuned fixed hardware priorities, the
+  authors' IPDPS'08 approach (Tables: "Static"),
+* ``uniform``  — HPCSched with the Uniform heuristic,
+* ``adaptive`` — HPCSched with the Adaptive heuristic.
+
+See :mod:`repro.experiments.registry` for the experiment-id index
+(table1, table3/fig3 ... table6/fig6, ablations).
+"""
+
+from repro.experiments.common import (
+    SCHEDULERS,
+    ExperimentResult,
+    TaskResult,
+    run_experiment,
+)
+from repro.experiments.registry import EXPERIMENTS, run_by_id
+
+__all__ = [
+    "SCHEDULERS",
+    "ExperimentResult",
+    "TaskResult",
+    "run_experiment",
+    "EXPERIMENTS",
+    "run_by_id",
+]

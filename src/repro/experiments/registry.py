@@ -1,0 +1,62 @@
+"""Experiment registry: id -> runner.
+
+Ids follow the paper's tables/figures (see DESIGN.md §4): ``table1``,
+``table3``/``fig3`` (MetBench), ``table4``/``fig4`` (MetBenchVar),
+``table5``/``fig5`` (BT-MZ), ``table6``/``fig6`` (SIESTA), ``fig1``,
+``fig2``, plus the ablations ``ablation_gl``, ``ablation_latency`` and
+``ablation_priority_range``.
+
+Populated lazily to keep imports light; use :func:`run_by_id`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+EXPERIMENTS: Dict[str, Callable] = {}
+
+
+def register(exp_id: str):
+    """Decorator registering an experiment runner under ``exp_id``."""
+
+    def deco(fn: Callable) -> Callable:
+        EXPERIMENTS[exp_id] = fn
+        return fn
+
+    return deco
+
+
+def run_by_id(exp_id: str, **kwargs):
+    """Run a registered experiment by its paper id."""
+    _load_all()
+    try:
+        fn = EXPERIMENTS[exp_id]
+    except KeyError:
+        _load_all()
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return fn(**kwargs)
+
+
+def all_ids():
+    """Sorted list of registered experiment ids."""
+    _load_all()
+    return sorted(EXPERIMENTS)
+
+
+def _load_all() -> None:
+    """Import the experiment modules so their @register decorators run."""
+    from repro.experiments import (  # noqa: F401
+        table1,
+        metbench,
+        metbenchvar,
+        btmz,
+        siesta,
+        figures,
+        ablations,
+        characterization,
+        extrinsic,
+        nice_ablation,
+        amr,
+    )

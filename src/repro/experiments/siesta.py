@@ -1,0 +1,65 @@
+"""Table VI / Figure 6: SIESTA (benzene input) — the latency story.
+
+Paper numbers (Table VI; the paper runs no static configuration here —
+the application's variability defeated their static balancing):
+
+========  =====================================  =========
+Test      %Comp (P1, P2, P3, P4)                 Exec. time
+========  =====================================  =========
+Baseline  98.90, 52.79, 28.45, 19.99             81.49 s
+Uniform   98.81, 53.38, 31.41, 21.68             76.82 s
+Adaptive  98.81, 53.40, 31.47, 21.71             76.91 s
+========  =====================================  =========
+
+The balance barely moves (the heuristics' guesses cannot track an
+application whose iteration i does not predict i+1, and the MEM_BOUND
+profile makes prioritization nearly ineffective) — the ~6% comes from
+the scheduling policy itself: SCHED_HPC tasks wake past the OS daemons
+instead of sharing and waiting behind them (paper §V-D).  Runs include
+the OS-noise daemons by default for exactly that reason.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.experiments.common import ExperimentResult, run_experiment
+from repro.experiments.registry import register
+from repro.workloads.noise import NoiseDaemons
+from repro.workloads.siesta import Siesta
+
+PAPER_EXEC = {"cfs": 81.49, "uniform": 76.82, "adaptive": 76.91}
+PAPER_COMP = {
+    "cfs": {"P1": 98.90, "P2": 52.79, "P3": 28.45, "P4": 19.99},
+    "uniform": {"P1": 98.81, "P2": 53.38, "P3": 31.41, "P4": 21.68},
+    "adaptive": {"P1": 98.81, "P2": 53.40, "P3": 31.47, "P4": 21.71},
+}
+
+
+def run_one(
+    scheduler: str,
+    scf_steps: Optional[int] = None,
+    noise: bool = True,
+    keep_trace: bool = True,
+) -> ExperimentResult:
+    """Run SIESTA (with OS noise by default) under one scheduler."""
+    workload = Siesta(**({"scf_steps": scf_steps} if scf_steps else {}))
+    return run_experiment(
+        workload,
+        scheduler,
+        noise=NoiseDaemons() if noise else None,
+        keep_trace=keep_trace,
+    )
+
+
+@register("table6")
+def run_table6(
+    scf_steps: Optional[int] = None,
+    noise: bool = True,
+    keep_trace: bool = False,
+) -> Dict[str, ExperimentResult]:
+    """The three scheduler configurations of Table VI."""
+    return {
+        sched: run_one(sched, scf_steps=scf_steps, noise=noise, keep_trace=keep_trace)
+        for sched in ("cfs", "uniform", "adaptive")
+    }

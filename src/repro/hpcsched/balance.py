@@ -1,0 +1,100 @@
+"""HPC workload balancing across scheduling domains (paper §IV-A).
+
+The paper's balancer equalizes the *number of HPC tasks* at every
+domain level — chip, core, context — so that, e.g., a core holding one
+HPC task pulls from a core holding three until both hold two.  The
+generic per-class pull balancer already moves queued tasks toward idle
+CPUs; this module adds the domain-count equalization pass and the
+analysis helper used by tests and experiments.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.kernel.domains import LEVELS
+from repro.kernel.policies import SchedPolicy, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.core_sched import Kernel
+
+
+def hpc_task_distribution(kernel: "Kernel") -> Dict[int, int]:
+    """Number of runnable SCHED_HPC tasks per CPU (queued + running)."""
+    counts: Dict[int, int] = {cpu: 0 for cpu in kernel.machine.cpu_ids}
+    for task in kernel.tasks.values():
+        if task.policy != SchedPolicy.HPC or not task.runnable:
+            continue
+        if task.cpu is not None:
+            counts[task.cpu] += 1
+    return counts
+
+
+def _group_counts(
+    counts: Dict[int, int], groups: List[Tuple[int, ...]]
+) -> List[int]:
+    return [sum(counts[c] for c in group) for group in groups]
+
+
+def spread_hpc_tasks(kernel: "Kernel", max_moves: int = 64) -> int:
+    """Equalize HPC task counts across all domain levels.
+
+    Walks the levels outermost-first (chip, then core, then context) and
+    migrates queued HPC tasks from the most- to the least-loaded group
+    until every level is balanced to within one task.  Returns the
+    number of migrations performed.
+    """
+    moves = 0
+    raw = kernel.machine.domains()
+    for level in reversed(LEVELS):  # chip -> core -> context
+        groups = [tuple(g) for g in raw.get(level, [])]
+        if len(groups) < 2:
+            continue
+        while moves < max_moves:
+            counts = hpc_task_distribution(kernel)
+            totals = _group_counts(counts, groups)
+            hi = max(range(len(groups)), key=lambda i: totals[i])
+            lo = min(range(len(groups)), key=lambda i: totals[i])
+            if totals[hi] - totals[lo] <= 1:
+                break
+            task = _steal_queued_hpc(kernel, groups[hi])
+            if task is None:
+                break  # only running tasks left; nothing migratable now
+            dst = min(groups[lo], key=lambda c: counts[c])
+            kernel.migrate(task, dst)
+            moves += 1
+    # Innermost pass: within each core, spread across the two contexts.
+    counts = hpc_task_distribution(kernel)
+    for group in raw.get("context", []):
+        a, b = sorted(group)
+        while abs(counts[a] - counts[b]) > 1 and moves < max_moves:
+            src, dst = (a, b) if counts[a] > counts[b] else (b, a)
+            task = _steal_queued_hpc(kernel, (src,))
+            if task is None:
+                break
+            kernel.migrate(task, dst)
+            counts[src] -= 1
+            counts[dst] += 1
+            moves += 1
+    return moves
+
+
+def _steal_queued_hpc(kernel: "Kernel", cpus: Tuple[int, ...]):
+    """A queued (READY, not running) HPC task on one of ``cpus``."""
+    best_cpu = max(cpus, key=lambda c: kernel.rqs[c].nr_running)
+    for task in kernel.tasks.values():
+        if (
+            task.policy == SchedPolicy.HPC
+            and task.state == TaskState.READY
+            and task.cpu == best_cpu
+        ):
+            return task
+    for cpu in cpus:
+        for task in kernel.tasks.values():
+            if (
+                task.policy == SchedPolicy.HPC
+                and task.state == TaskState.READY
+                and task.cpu == cpu
+            ):
+                return task
+    return None

@@ -1,0 +1,179 @@
+"""Priority-selection heuristics (paper §IV-B).
+
+Both paper heuristics map a utilization figure to a hardware-priority
+target inside ``[MIN_PRIO, MAX_PRIO]`` (default [4, 6], so the in-core
+priority difference never exceeds the ±2 the authors' ISCA'08
+characterization recommends):
+
+* utilization >= ``HIGH_UTIL``  ->  the task computes almost all the
+  time; give it more core resources (target ``MAX_PRIO``);
+* utilization <= ``LOW_UTIL``   ->  the task mostly waits; it can afford
+  to run slower (target ``MIN_PRIO``);
+* in between                    ->  leave the priority alone (hysteresis
+  band that prevents oscillation).
+
+*Uniform* applies the bands to the task's **global** utilization — slow
+but steady, right for constant applications.  *Adaptive* applies them to
+``U = G*Ug(i-1) + L*Ul(i)`` (default G=0.1, L=0.9), reacting within an
+iteration or two but liable to over-react to OS noise (paper §V-A).
+
+Once the Load Imbalance Detector reports the application balanced, both
+heuristics hold their priorities and only resume adjusting when the
+behaviour changes — the "stable state" of paper §IV-B.
+
+:class:`StaticPriorities` reproduces the authors' earlier IPDPS'08
+baseline: fixed, hand-tuned priorities applied once at start.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hpcsched.detector import HPCTaskStats, LoadImbalanceDetector
+    from repro.kernel.task import Task
+
+
+class Heuristic(ABC):
+    """Decides a task's hardware priority for its next iteration."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def decide(
+        self,
+        detector: "LoadImbalanceDetector",
+        task: "Task",
+        stats: "HPCTaskStats",
+    ) -> Optional[int]:
+        """Return the new hardware priority, or None to keep the current
+        one.  Called at each iteration boundary of ``task``."""
+
+    # ------------------------------------------------------------------
+    # Shared plumbing
+    # ------------------------------------------------------------------
+    def _target_from_util(
+        self,
+        detector: "LoadImbalanceDetector",
+        task: "Task",
+        util_pct: float,
+    ) -> Optional[int]:
+        """Apply the LOW/HIGH utilization bands to ``util_pct``."""
+        tun = detector.kernel.tunables
+        high = tun.get("hpcsched/high_util")
+        low = tun.get("hpcsched/low_util")
+        min_prio = tun.get("hpcsched/min_prio")
+        max_prio = tun.get("hpcsched/max_prio")
+        current = detector.mechanism.read(task)
+
+        if util_pct >= high:
+            target = max_prio
+        elif util_pct <= low:
+            target = min_prio
+        else:
+            return None
+
+        if tun.get("hpcsched/prio_step_mode") == "step" and target != current:
+            return current + (1 if target > current else -1)
+        return target
+
+
+class UniformHeuristic(Heuristic):
+    """Global-utilization bands: right for constant applications."""
+
+    name = "uniform"
+
+    def decide(self, detector, task, stats) -> Optional[int]:
+        return self._target_from_util(detector, task, stats.global_util * 100.0)
+
+
+class AdaptiveHeuristic(Heuristic):
+    """Recency-weighted utilization ``G*Ug(i-1) + L*Ul(i)``.
+
+    ``Ug(i-1)`` is the global utilization *up to the previous
+    iteration*, i.e. excluding the one that just closed, matching the
+    paper's formula.
+    """
+
+    name = "adaptive"
+
+    def decide(self, detector, task, stats) -> Optional[int]:
+        tun = detector.kernel.tunables
+        g = tun.get("hpcsched/adaptive_g")
+        l = tun.get("hpcsched/adaptive_l")
+        last = stats.last_util if stats.last_util is not None else 0.0
+        prev_global = self._global_before_last(stats)
+        util = g * prev_global + l * last
+        return self._target_from_util(detector, task, util * 100.0)
+
+    @staticmethod
+    def _global_before_last(stats: "HPCTaskStats") -> float:
+        """Global utilization excluding the just-closed iteration.
+
+        Reconstructed from the history as a duration-unweighted mean;
+        for the first iteration it falls back to the last utilization
+        (no history yet).
+        """
+        if stats.iterations <= 1:
+            return stats.last_util if stats.last_util is not None else 0.0
+        older = stats.history[:-1]
+        return sum(older) / len(older)
+
+
+class HybridHeuristic(Heuristic):
+    """The paper's future-work ask (§VI): one heuristic for both
+    constant and dynamic applications.
+
+    Strategy: distinguish *level shifts* (real behaviour changes) from
+    *noise* (one-off blips) using sample agreement:
+
+    * the two newest utilizations **agree** (within ``volatility``):
+      that is a consistent signal — trust their mean, reacting as fast
+      as Adaptive whether the application is constant or just changed;
+    * they **disagree**: the newest sample may be noise — decide on the
+      window median instead, so a single noisy iteration (OS noise, a
+      stray message burst) cannot flip the priority.  This is exactly
+      Adaptive's over-reaction failure mode on MetBench (paper
+      Fig. 3d), which Hybrid avoids at the cost of confirming real
+      changes one iteration later.
+
+    Tunables: ``window`` (samples for the damped median) and
+    ``volatility`` (utilization agreement threshold, 0..1).
+    """
+
+    name = "hybrid"
+
+    def __init__(self, window: int = 4, volatility: float = 0.15) -> None:
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        self.window = window
+        self.volatility = volatility
+
+    def decide(self, detector, task, stats) -> Optional[int]:
+        recent = stats.history[-self.window:]
+        if not recent:
+            return None
+        if len(recent) == 1:
+            util = recent[0]
+        elif abs(recent[-1] - recent[-2]) <= self.volatility:
+            util = (recent[-1] + recent[-2]) / 2.0  # consistent signal
+        else:
+            util = sorted(recent)[len(recent) // 2]  # damped median
+        return self._target_from_util(detector, task, util * 100.0)
+
+
+class StaticPriorities(Heuristic):
+    """The IPDPS'08 static baseline: hand-tuned priorities by task name,
+    applied at the first iteration boundary and never changed."""
+
+    name = "static"
+
+    def __init__(self, priorities: Dict[str, int]) -> None:
+        self.priorities = dict(priorities)
+
+    def decide(self, detector, task, stats) -> Optional[int]:
+        want = self.priorities.get(task.name)
+        if want is None:
+            return None
+        return want

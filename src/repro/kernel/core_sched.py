@@ -1,0 +1,667 @@
+"""The Scheduler Core (paper §III) plus the task execution engine.
+
+The core walks an ordered list of scheduling classes to find the next
+task; the order (real-time > [HPC] > fair > idle) provides the implicit
+prioritization the paper's Figure 1 shows.  On top of the classic
+scheduler duties (wakeups, preemption, ticks, load balancing, context
+switches) this module also *executes* the tasks: programs are Python
+generators yielding requests, and compute phases progress at a fluid
+rate determined by the POWER5 SMT state of the core they run on.
+
+Rates change only at discrete events — a context switch on either SMT
+context, a hardware-priority change, a sibling going idle — and each
+such event banks the accrued work and reschedules the phase-completion
+event, which makes the fluid model exact.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Iterable, List, Optional
+
+from repro.kernel.fair import FairClass
+from repro.kernel.idlecls import IdleClass
+from repro.kernel.latency import LatencyStats
+from repro.kernel.loadbalance import LoadBalancer
+from repro.kernel.policies import SchedPolicy, TaskState
+from repro.kernel.rt import RTClass
+from repro.kernel.runqueue import RunQueue
+from repro.kernel.sched_class import SchedClass
+from repro.kernel.syscalls import Compute, Exit, KernelRequest
+from repro.kernel.task import Task
+from repro.kernel.tunables import Tunables
+from repro.power5.machine import Machine
+from repro.power5.perfmodel import CPU_BOUND, PerfProfile
+from repro.power5.priorities import (
+    PrivilegeLevel,
+    PriorityError,
+    can_set_priority,
+)
+from repro.simcore.engine import Simulator
+
+# Event priorities: lower fires first at equal timestamps.  Phase
+# completions and wakeups run before deferred reschedules so that a
+# reschedule sees the final runqueue state of the instant.
+EVPRIO_PHASE = 0
+EVPRIO_WAKEUP = 1
+EVPRIO_TICK = 2
+EVPRIO_RESCHED = 5
+EVPRIO_BALANCE = 6
+
+#: Work remainders below this are treated as completed (float dust).
+_WORK_EPSILON = 1e-12
+
+
+class Kernel:
+    """Simulated kernel: scheduler core + execution engine."""
+
+    def __init__(
+        self,
+        machine: Optional[Machine] = None,
+        sim: Optional[Simulator] = None,
+        tunables: Optional[Tunables] = None,
+        trace: Optional[Any] = None,
+    ) -> None:
+        self.sim = sim or Simulator()
+        self.machine = machine or Machine()
+        self.tunables = tunables or Tunables()
+        self.trace = trace
+        self.latency_stats = LatencyStats()
+
+        self.rqs: Dict[int, RunQueue] = {
+            cpu: RunQueue(cpu) for cpu in self.machine.cpu_ids
+        }
+
+        from repro.power5.pmu import MachinePMU
+
+        #: Simulated performance counters (decode shares, ST time, ...).
+        self.pmu = MachinePMU(self.machine)
+
+        self.rt = RTClass(self)
+        self.fair = FairClass(self)
+        self.idle_class = IdleClass(self)
+        self.classes: List[SchedClass] = [self.rt, self.fair, self.idle_class]
+
+        self.balancer = LoadBalancer(self)
+
+        self.tasks: Dict[int, Task] = {}
+        self._next_pid = 1
+        #: Live (started, not exited) non-daemon tasks; the run loop
+        #: stops when this reaches zero.
+        self.live_tasks = 0
+        self.context_switches = 0
+        self.migrations = 0
+        self._balance_started = False
+
+        self._boot()
+
+    # ------------------------------------------------------------------
+    # Boot / configuration
+    # ------------------------------------------------------------------
+    def _boot(self) -> None:
+        """Create and install the per-CPU idle tasks."""
+        for cpu in self.machine.cpu_ids:
+            idle = Task(pid=-(cpu + 1), name=f"swapper/{cpu}")
+            idle.policy = SchedPolicy.IDLE
+            idle.sched_class = self.idle_class  # type: ignore[attr-defined]
+            self.idle_class.register_idle_task(cpu, idle)
+            idle.state = TaskState.RUNNING
+            idle.cpu = cpu
+            self.rqs[cpu].current = idle
+            self.machine.context(cpu).idle()
+
+    def register_class(self, sched_class: SchedClass, before: str = "fair") -> None:
+        """Insert a new scheduling class (e.g. HPCSched) before the class
+        named ``before`` — the paper places HPCSched between the
+        real-time and the CFS class (Fig. 1b)."""
+        names = [c.name for c in self.classes]
+        if sched_class.name in names:
+            raise ValueError(f"class {sched_class.name!r} already registered")
+        try:
+            idx = names.index(before)
+        except ValueError:
+            raise ValueError(f"no scheduling class named {before!r}") from None
+        self.classes.insert(idx, sched_class)
+
+    def class_for_policy(self, policy: SchedPolicy) -> SchedClass:
+        """The scheduling class serving ``policy``."""
+        for cls in self.classes:
+            if policy in cls.policies:
+                return cls
+        raise ValueError(
+            f"no scheduling class handles policy {policy!r} "
+            "(is the HPC class registered?)"
+        )
+
+    def class_index(self, sched_class: SchedClass) -> int:
+        """Rank of a class in the priority order (lower beats higher)."""
+        return self.classes.index(sched_class)
+
+    # ------------------------------------------------------------------
+    # Task lifecycle
+    # ------------------------------------------------------------------
+    def create_task(
+        self,
+        name: str,
+        program: Optional[Generator] = None,
+        policy: SchedPolicy = SchedPolicy.NORMAL,
+        nice: int = 0,
+        rt_priority: int = 0,
+        perf_profile: PerfProfile = CPU_BOUND,
+        cpus_allowed: Optional[Iterable[int]] = None,
+        daemon: bool = False,
+    ) -> Task:
+        """Allocate a task descriptor (not yet runnable)."""
+        task = Task(
+            pid=self._next_pid,
+            name=name,
+            program=program,
+            policy=policy,
+            nice=nice,
+            rt_priority=rt_priority,
+            perf_profile=perf_profile,
+            cpus_allowed=cpus_allowed,
+        )
+        self._next_pid += 1
+        task.daemon = daemon  # type: ignore[attr-defined]
+        task.wakeup_pending = False  # type: ignore[attr-defined]
+        self.tasks[task.pid] = task
+        return task
+
+    def start_task(self, task: Task, cpu: Optional[int] = None) -> None:
+        """Make a NEW task runnable (fork + wake_up_new_task)."""
+        if task.state != TaskState.NEW:
+            raise ValueError(f"{task!r} already started")
+        task.sched_class = self.class_for_policy(task.policy)  # type: ignore[attr-defined]
+        if cpu is None:
+            cpu = self.balancer.select_cpu(task)
+        elif not task.allows_cpu(cpu):
+            raise ValueError(f"{task!r} not allowed on cpu{cpu}")
+        task.state = TaskState.READY
+        task.sched_class.task_new(self.rqs[cpu], task)
+        if not getattr(task, "daemon", False):
+            self.live_tasks += 1
+        self._trace(task, "wake", cpu=cpu)
+        self._enqueue(task, cpu, wakeup=False)
+        self._check_preempt(cpu, task)
+        self._ensure_periodic_balance()
+
+    def spawn(self, name: str, program: Generator, **kwargs) -> Task:
+        """create_task + start_task in one call."""
+        cpu = kwargs.pop("cpu", None)
+        task = self.create_task(name, program, **kwargs)
+        self.start_task(task, cpu=cpu)
+        return task
+
+    def _exit_task(self, cpu: int, task: Task) -> None:
+        rq = self.rqs[cpu]
+        assert rq.current is task
+        self.update_curr(rq)
+        task.bank_progress(self.sim.now)
+        task.cancel_phase_event()
+        task.state = TaskState.EXITED
+        task.sched_class.task_exit(rq, task)
+        self._trace(task, "exit", cpu=cpu)
+        rq.current = None
+        if not getattr(task, "daemon", False):
+            self.live_tasks -= 1
+        if task.on_exit is not None:
+            task.on_exit(task)
+        self.__schedule(cpu)
+
+    # ------------------------------------------------------------------
+    # Wakeups and sleeps
+    # ------------------------------------------------------------------
+    def wake_up(self, task: Task) -> bool:
+        """Transition a sleeping task to runnable; returns False if the
+        task was not sleeping (spurious wakeup)."""
+        if task.state != TaskState.SLEEPING:
+            return False
+        task.state = TaskState.READY
+        cpu = self._select_wake_cpu(task)
+        task.wakeup_pending = True  # type: ignore[attr-defined]
+        # The class hook runs before the task is queued so the HPC
+        # detector can adjust hardware priorities for the new iteration.
+        task.sched_class.on_wakeup(task)
+        self._trace(task, "wake", cpu=cpu)
+        self._enqueue(task, cpu, wakeup=True)
+        self._check_preempt(cpu, task)
+        return True
+
+    def _select_wake_cpu(self, task: Task) -> int:
+        """Wake placement: the previous CPU if it is free (cache-affine,
+        and what keeps one MPI rank per CPU stable); otherwise the
+        topologically nearest idle allowed CPU (select_idle_sibling);
+        otherwise stay on the previous CPU and queue."""
+        prev = task.cpu
+        if prev is not None and task.allows_cpu(prev):
+            rq = self.rqs[prev]
+            cur = rq.current
+            if rq.nr_queued == 0 and (cur is None or cur.is_idle_task):
+                return prev
+        elif prev is None or not task.allows_cpu(prev):
+            return self.balancer.select_cpu(task, prefer=prev)
+        candidates = [
+            c
+            for c in self.machine.cpu_ids
+            if c != prev and task.allows_cpu(c) and self.rqs[c].nr_running == 0
+        ]
+        if candidates:
+            hier = self.balancer.hierarchy
+            return min(candidates, key=lambda c: (hier.distance(prev, c), c))
+        return prev
+
+    def _block_current(self, cpu: int, task: Task, req: KernelRequest) -> None:
+        rq = self.rqs[cpu]
+        assert rq.current is task
+        self.update_curr(rq)
+        task.bank_progress(self.sim.now)
+        task.cancel_phase_event()
+        task.state = TaskState.SLEEPING
+        task.sleep_reason = req.sleep_reason
+        task.sleeping_on_wait = req.is_wait
+        task.sched_class.on_block(rq, task, req.sleep_reason, req.is_wait)
+        self._trace(task, "block", cpu=cpu, reason=req.sleep_reason, wait=req.is_wait)
+        rq.current = None
+        self.__schedule(cpu)
+
+    # ------------------------------------------------------------------
+    # Enqueue / dequeue / migration
+    # ------------------------------------------------------------------
+    def _enqueue(self, task: Task, cpu: int, wakeup: bool) -> None:
+        rq = self.rqs[cpu]
+        task.cpu = cpu
+        task.sched_class.task_placed(rq, task)
+        task.sched_class.enqueue_task(rq, task)
+        rq.nr_queued += 1
+        task.last_enqueue_time = self.sim.now
+        self._update_tick(cpu)
+
+    def _dequeue(self, task: Task) -> None:
+        assert task.cpu is not None
+        rq = self.rqs[task.cpu]
+        task.sched_class.dequeue_task(rq, task)
+        rq.nr_queued -= 1
+
+    def migrate(self, task: Task, dst: int) -> None:
+        """Move a queued (READY) task to another CPU's runqueue."""
+        if task.state != TaskState.READY:
+            raise ValueError(f"can only migrate queued tasks, not {task!r}")
+        if not task.allows_cpu(dst):
+            raise ValueError(f"{task!r} not allowed on cpu{dst}")
+        if task.cpu == dst:
+            return
+        self._dequeue(task)
+        self.migrations += 1
+        self._trace(task, "migrate", cpu=dst)
+        self._enqueue(task, dst, wakeup=False)
+        self._check_preempt(dst, task)
+
+    def set_affinity(self, task: Task, cpus: Optional[set]) -> None:
+        """Replace the task's CPU mask, migrating it off a now-forbidden
+        CPU (queued tasks immediately, running ones at reschedule)."""
+        task.cpus_allowed = set(cpus) if cpus is not None else None
+        if task.cpus_allowed is None:
+            return
+        if task.state == TaskState.READY and task.cpu not in task.cpus_allowed:
+            self.migrate(task, self.balancer.select_cpu(task))
+        elif task.state == TaskState.RUNNING and task.cpu not in task.cpus_allowed:
+            self.resched(task.cpu)  # moved off at the next reschedule
+
+    # ------------------------------------------------------------------
+    # Policy changes
+    # ------------------------------------------------------------------
+    def sched_setscheduler(
+        self, task: Task, policy: SchedPolicy, rt_priority: int = 0
+    ) -> None:
+        """Move a task to another policy (and scheduling class)."""
+        new_class = self.class_for_policy(policy)
+        old_class = getattr(task, "sched_class", None)
+        rq = self.rqs[task.cpu] if task.cpu is not None else None
+        was_queued = task.state == TaskState.READY
+        if was_queued:
+            self._dequeue(task)
+        if old_class is not None and rq is not None and old_class is not new_class:
+            old_class.task_exit(rq, task)
+        task.policy = policy
+        task.rt_priority = rt_priority
+        task.sched_class = new_class  # type: ignore[attr-defined]
+        if rq is not None and old_class is not new_class:
+            new_class.task_new(rq, task)
+        self._trace(task, "setscheduler", policy=policy.name)
+        if was_queued:
+            assert task.cpu is not None
+            self._enqueue(task, task.cpu, wakeup=False)
+            self._check_preempt(task.cpu, task)
+        elif task.state == TaskState.RUNNING:
+            assert task.cpu is not None
+            self.resched(task.cpu)
+
+    def yield_current(self, task: Task) -> None:
+        """``sched_yield``: reschedule, sending the caller to the tail
+        of its queue."""
+        if task.state == TaskState.RUNNING and task.cpu is not None:
+            task._sched_yield = True  # type: ignore[attr-defined]
+            self.resched(task.cpu)
+
+    # ------------------------------------------------------------------
+    # Hardware priority mechanism entry point
+    # ------------------------------------------------------------------
+    def set_hw_priority(
+        self,
+        task: Task,
+        priority: int,
+        privilege: PrivilegeLevel = PrivilegeLevel.SUPERVISOR,
+    ) -> None:
+        """Program a task's POWER5 hardware thread priority.
+
+        Applied to the context immediately if the task is running,
+        otherwise restored at the next context switch — mirroring how a
+        kernel would save/restore the priority in the task context.
+        """
+        if not can_set_priority(priority, privilege):
+            raise PriorityError(
+                f"privilege {privilege.name} cannot set priority {priority}"
+            )
+        if task.hw_priority == int(priority):
+            return
+        task.hw_priority = int(priority)
+        self._trace(task, "hw_priority", priority=int(priority))
+        if task.state == TaskState.RUNNING and task.cpu is not None:
+            ctx = self.machine.context(task.cpu)
+            ctx.set_priority(priority)
+            self._rates_changed(ctx.core)
+
+    # ------------------------------------------------------------------
+    # The scheduler proper
+    # ------------------------------------------------------------------
+    def resched(self, cpu: int) -> None:
+        """Flag ``cpu`` for rescheduling (deferred to event boundary)."""
+        rq = self.rqs[cpu]
+        rq.need_resched = True
+        if rq.resched_event is None or rq.resched_event.cancelled:
+            rq.resched_event = self.sim.at(
+                self.sim.now,
+                lambda: self._resched_fire(cpu),
+                priority=EVPRIO_RESCHED,
+                label=f"resched/{cpu}",
+            )
+
+    def _resched_fire(self, cpu: int) -> None:
+        rq = self.rqs[cpu]
+        rq.resched_event = None
+        if rq.need_resched:
+            self.__schedule(cpu)
+
+    def _check_preempt(self, cpu: int, woken: Task) -> None:
+        rq = self.rqs[cpu]
+        cur = rq.current
+        if cur is None or cur.is_idle_task:
+            self.resched(cpu)
+            return
+        wi = self.class_index(woken.sched_class)
+        ci = self.class_index(cur.sched_class)
+        if wi < ci:
+            self.resched(cpu)
+        elif wi == ci and woken.sched_class.check_preempt(rq, woken):
+            self.resched(cpu)
+
+    def __schedule(self, cpu: int) -> None:
+        """Pick the best runnable task on ``cpu`` and switch to it."""
+        rq = self.rqs[cpu]
+        rq.need_resched = False
+        prev = rq.current
+
+        # A still-runnable prev (preemption path) goes back to its queue —
+        # or to an allowed CPU if its affinity mask no longer covers this
+        # one (sched_setaffinity while running).
+        if prev is not None and prev.state == TaskState.RUNNING and not prev.is_idle_task:
+            self.update_curr(rq)
+            prev.bank_progress(self.sim.now)
+            prev.cancel_phase_event()
+            prev.state = TaskState.READY
+            prev.sched_class.put_prev_task(rq, prev)
+            self._trace(prev, "preempted", cpu=cpu)
+            if prev.allows_cpu(cpu):
+                self._enqueue(prev, cpu, wakeup=False)
+            else:
+                dst = self.balancer.select_cpu(prev, prefer=cpu)
+                self.migrations += 1
+                self._enqueue(prev, dst, wakeup=False)
+                self._check_preempt(dst, prev)
+
+        next_task = self._pick_next(rq)
+        if next_task.is_idle_task and rq.nr_queued == 0:
+            pulled = self.balancer.idle_pull(cpu)
+            if pulled is not None:
+                next_task = self._pick_next(rq)
+
+        same = next_task is prev
+        rq.current = next_task
+        if not same:
+            self.context_switches += 1
+        cost = (
+            0.0 if same else self.tunables.get("kernel/context_switch_cost")
+        )
+        self._install(cpu, next_task, cost)
+
+    # Name-mangled alias so subsystems inside the package can call it.
+    _schedule = __schedule
+
+    def _pick_next(self, rq: RunQueue) -> Task:
+        for cls in self.classes:
+            task = cls.pick_next_task(rq)
+            if task is not None:
+                if not task.is_idle_task:
+                    rq.nr_queued -= 1
+                return task
+        raise RuntimeError("scheduler found no task (idle class broken)")
+
+    def _install(self, cpu: int, task: Task, cost: float) -> None:
+        """Load ``task`` on the CPU's hardware context and resume it."""
+        rq = self.rqs[cpu]
+        now = self.sim.now
+        rq.curr_switched_in_at = now
+        ctx = self.machine.context(cpu)
+
+        if task.is_idle_task:
+            task.state = TaskState.RUNNING
+            task.cpu = cpu
+            ctx.idle()
+            self._rates_changed(ctx.core)
+            self._trace(task, "run_idle", cpu=cpu)
+            self._update_tick(cpu)
+            return
+
+        task.state = TaskState.RUNNING
+        task.cpu = cpu
+        task.exec_start = now
+        if getattr(task, "wakeup_pending", False) and task.last_enqueue_time is not None:
+            self.latency_stats.record(task, now - task.last_enqueue_time)
+            task.wakeup_pending = False  # type: ignore[attr-defined]
+        ctx.load(task, task.hw_priority, busy=True)
+        self._rates_changed(ctx.core)
+        self._trace(task, "run", cpu=cpu)
+        if task.phase_remaining > _WORK_EPSILON:
+            self._start_phase(cpu, task, delay=cost)
+        else:
+            self._advance_program(cpu, task)
+        self._update_tick(cpu)
+
+    # ------------------------------------------------------------------
+    # Fluid-rate compute phases
+    # ------------------------------------------------------------------
+    def _task_rate(self, cpu: int, task: Task) -> float:
+        ctx = self.machine.context(cpu)
+        return ctx.core.context_speed(ctx.thread_index, task.perf_profile)
+
+    def _start_phase(self, cpu: int, task: Task, delay: float = 0.0) -> None:
+        now = self.sim.now
+        rate = self._task_rate(cpu, task)
+        task.phase_rate = rate
+        task.phase_started_at = now + delay
+        task.cancel_phase_event()
+        if rate <= 0.0:
+            return  # stalled; a future rate change restarts the phase
+        eta = now + delay + task.phase_remaining / rate
+        task.phase_event = self.sim.at(
+            eta,
+            lambda: self._phase_complete(cpu, task),
+            priority=EVPRIO_PHASE,
+            label=f"phase/{task.pid}",
+        )
+
+    def _phase_complete(self, cpu: int, task: Task) -> None:
+        task.phase_event = None
+        if task.state != TaskState.RUNNING or task.cpu != cpu:
+            return  # stale event (defensive; cancels should prevent this)
+        task.phase_remaining = 0.0
+        task.phase_rate = 0.0
+        task.phase_started_at = None
+        self.update_curr(self.rqs[cpu])
+        self._advance_program(cpu, task)
+
+    def _rates_changed(self, core) -> None:
+        """SMT state of ``core`` changed: rebase both contexts' phases."""
+        now = self.sim.now
+        # Attribute the elapsed interval to the pre-change SMT state.
+        self.pmu.advance_core(core, now)
+        for ctx in core.contexts:
+            t = ctx.task
+            if (
+                t is None
+                or not ctx.busy
+                or t.state != TaskState.RUNNING
+                or t.phase_started_at is None
+            ):
+                continue
+            t.bank_progress(now)
+            if t.phase_remaining <= _WORK_EPSILON:
+                t.phase_remaining = 0.0
+            self._start_phase(ctx.cpu_id, t)
+
+    # ------------------------------------------------------------------
+    # Program driver
+    # ------------------------------------------------------------------
+    def _advance_program(self, cpu: int, task: Task) -> None:
+        """Fetch and dispatch requests until the task computes, blocks
+        or exits."""
+        rq = self.rqs[cpu]
+        while True:
+            if task.program is None:
+                self._exit_task(cpu, task)
+                return
+            try:
+                # The yield expression evaluates to the pending request's
+                # result (e.g. a received payload); None for plain ops.
+                result, task._syscall_result = task._syscall_result, None
+                req = task.program.send(result)
+            except StopIteration:
+                self._exit_task(cpu, task)
+                return
+            if isinstance(req, Exit):
+                self._exit_task(cpu, task)
+                return
+            if isinstance(req, Compute):
+                if req.work <= 0.0:
+                    continue
+                task.phase_remaining = req.work
+                self._start_phase(cpu, task)
+                return
+            if isinstance(req, KernelRequest):
+                cont = req.execute(self, task)
+                if not cont:
+                    self._block_current(cpu, task, req)
+                    return
+                if rq.current is not task or task.state != TaskState.RUNNING:
+                    return  # the request displaced us
+                if rq.need_resched:
+                    return  # preemption point (yield, priority change...)
+                continue
+            raise TypeError(f"task program yielded unsupported {req!r}")
+
+    # ------------------------------------------------------------------
+    # Accounting and ticks
+    # ------------------------------------------------------------------
+    def update_curr(self, rq: RunQueue) -> None:
+        """Charge the running task's elapsed occupancy (and let its
+        class account it, e.g. as CFS vruntime)."""
+        cur = rq.current
+        if cur is None or cur.is_idle_task or cur.exec_start is None:
+            return
+        delta = self.sim.now - cur.exec_start
+        if delta <= 0.0:
+            return
+        cur.sum_exec_runtime += delta
+        cur.exec_start = self.sim.now
+        cur.sched_class.account(rq, cur, delta)
+
+    def _update_tick(self, cpu: int) -> None:
+        rq = self.rqs[cpu]
+        cur = rq.current
+        needed = self.tunables.get("kernel/full_ticks") or (
+            cur is not None
+            and not cur.is_idle_task
+            and cur.sched_class.needs_tick(rq, cur)
+        )
+        if needed and (rq.tick_event is None or rq.tick_event.cancelled):
+            rq.tick_event = self.sim.after(
+                self.tunables.get("kernel/tick_period"),
+                lambda: self._tick(cpu),
+                priority=EVPRIO_TICK,
+                label=f"tick/{cpu}",
+            )
+
+    def _tick(self, cpu: int) -> None:
+        rq = self.rqs[cpu]
+        rq.tick_event = None
+        cur = rq.current
+        if cur is not None and not cur.is_idle_task:
+            self.update_curr(rq)
+            cur.sched_class.task_tick(rq, cur)
+        self._update_tick(cpu)
+
+    # ------------------------------------------------------------------
+    # Periodic load balancing
+    # ------------------------------------------------------------------
+    def _ensure_periodic_balance(self) -> None:
+        if self._balance_started:
+            return
+        self._balance_started = True
+        interval = self.tunables.get("kernel/loadbalance_interval")
+        for i, cpu in enumerate(self.machine.cpu_ids):
+            offset = interval * (i + 1) / (len(self.machine.cpu_ids) + 1)
+            self.sim.after(
+                offset,
+                lambda c=cpu: self._periodic_balance(c),
+                priority=EVPRIO_BALANCE,
+                label=f"balance/{cpu}",
+            )
+
+    def _periodic_balance(self, cpu: int) -> None:
+        if self.live_tasks <= 0:
+            return  # quiesce: no work left, stop re-arming
+        self.balancer.periodic(cpu)
+        self.sim.after(
+            self.tunables.get("kernel/loadbalance_interval"),
+            lambda: self._periodic_balance(cpu),
+            priority=EVPRIO_BALANCE,
+            label=f"balance/{cpu}",
+        )
+
+    # ------------------------------------------------------------------
+    # Run loop and tracing
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the simulation until all non-daemon tasks exit (or until
+        the optional time horizon)."""
+        end = self.sim.run(until=until, stop_when=lambda: self.live_tasks == 0)
+        self.pmu.finalize(end)
+        return end
+
+    def _trace(self, task: Task, kind: str, **info) -> None:
+        if self.trace is not None:
+            self.trace.record(self.sim.now, task, kind, **info)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now

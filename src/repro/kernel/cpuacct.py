@@ -1,0 +1,37 @@
+"""Per-scheduling-class CPU accounting (cpuacct-style).
+
+Answers "where did the CPU time go?" — e.g. how much the OS-noise
+daemons (CFS) consumed versus the application (HPC class) in the
+SIESTA/extrinsic experiments.  Computed post-hoc from task occupancy
+counters, grouped by the class serving each task's final policy.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.core_sched import Kernel
+
+
+def class_cpu_time(kernel: "Kernel") -> Dict[str, float]:
+    """Total CPU occupancy per scheduling class (seconds)."""
+    out: Dict[str, float] = {cls.name: 0.0 for cls in kernel.classes}
+    for task in kernel.tasks.values():
+        cls = kernel.class_for_policy(task.policy)
+        out[cls.name] += task.sum_exec_runtime
+    return out
+
+
+def class_cpu_share(kernel: "Kernel") -> Dict[str, float]:
+    """Fraction of total machine-busy time per scheduling class."""
+    times = class_cpu_time(kernel)
+    total = sum(times.values())
+    if total <= 0:
+        return {name: 0.0 for name in times}
+    return {name: t / total for name, t in times.items()}
+
+
+def task_cpu_time(kernel: "Kernel") -> Dict[str, float]:
+    """CPU occupancy per task name (seconds)."""
+    return {t.name: t.sum_exec_runtime for t in kernel.tasks.values()}

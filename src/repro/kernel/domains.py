@@ -1,0 +1,65 @@
+"""Scheduling domains derived from the machine topology.
+
+Linux organizes CPUs into nested domains (SMT siblings, cores of a
+package, the whole system); load balancing walks them from the smallest
+to the largest so work migrates the shortest distance necessary.  We
+build the same structure from :class:`repro.power5.machine.Machine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.power5.machine import Machine
+
+#: Domain levels in balancing order (innermost first).
+LEVELS: Tuple[str, ...] = ("context", "core", "chip")
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A group of CPUs at one topology level."""
+
+    level: str
+    cpus: Tuple[int, ...]
+
+    def __contains__(self, cpu: int) -> bool:
+        return cpu in self.cpus
+
+
+class DomainHierarchy:
+    """Per-CPU chain of enclosing domains, innermost first."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        raw = machine.domains()
+        self._by_cpu: Dict[int, List[Domain]] = {cpu: [] for cpu in machine.cpu_ids}
+        self.domains: List[Domain] = []
+        for level in LEVELS:
+            for group in raw.get(level, []):
+                dom = Domain(level, tuple(sorted(group)))
+                self.domains.append(dom)
+                for cpu in dom.cpus:
+                    self._by_cpu[cpu].append(dom)
+
+    def for_cpu(self, cpu: int) -> Sequence[Domain]:
+        """Enclosing domains of ``cpu``, innermost (SMT siblings) first."""
+        return self._by_cpu[cpu]
+
+    def peers(self, cpu: int, level: str) -> Tuple[int, ...]:
+        """CPUs sharing the given domain level with ``cpu`` (inclusive)."""
+        for dom in self._by_cpu[cpu]:
+            if dom.level == level:
+                return dom.cpus
+        return (cpu,)
+
+    def distance(self, a: int, b: int) -> int:
+        """Topological distance: index of the smallest shared level
+        (0 = same core, 1 = same chip, 2 = same system, ...)."""
+        if a == b:
+            return -1
+        for i, dom in enumerate(self._by_cpu[a]):
+            if b in dom.cpus:
+                return i
+        return len(LEVELS)

@@ -1,0 +1,58 @@
+"""Wakeup (scheduler) latency accounting.
+
+The time between a task becoming runnable and actually executing is the
+*scheduler latency* the paper's §V-D identifies as the source of
+SIESTA's improvement: an HPC-class task that wakes competes only with
+its own (usually empty) class, while a CFS task competes with everything
+in the system.  This module aggregates those latencies per task and
+globally so experiments can decompose execution-time gains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.task import Task
+
+
+@dataclass
+class LatencyAccumulator:
+    """Streaming count/sum/max of observed wakeup latencies."""
+
+    count: int = 0
+    total: float = 0.0
+    max: float = 0.0
+
+    def add(self, value: float) -> None:
+        """Fold one latency observation into the accumulator."""
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class LatencyStats:
+    """Per-task and global wakeup-latency statistics."""
+
+    per_task: Dict[int, LatencyAccumulator] = field(default_factory=dict)
+    overall: LatencyAccumulator = field(default_factory=LatencyAccumulator)
+
+    def record(self, task: "Task", latency: float) -> None:
+        """Record one wakeup-to-run latency for ``task``."""
+        acc = self.per_task.get(task.pid)
+        if acc is None:
+            acc = LatencyAccumulator()
+            self.per_task[task.pid] = acc
+        acc.add(latency)
+        self.overall.add(latency)
+
+    def for_task(self, pid: int) -> LatencyAccumulator:
+        """The task's accumulator (empty if it never woke)."""
+        return self.per_task.get(pid, LatencyAccumulator())

@@ -1,0 +1,50 @@
+"""Scheduling policies and task states.
+
+Policy numbering follows the Linux uapi values where they exist;
+``SCHED_HPC`` is the new policy introduced by the paper (we pick the
+first free slot after the historical ones).
+"""
+
+from __future__ import annotations
+
+from enum import Enum, IntEnum
+
+
+class SchedPolicy(IntEnum):
+    """POSIX/Linux scheduling policies plus the paper's SCHED_HPC."""
+
+    NORMAL = 0  # SCHED_OTHER / SCHED_NORMAL -> CFS
+    FIFO = 1  # real-time, run-to-block
+    RR = 2  # real-time, round-robin
+    BATCH = 3  # CFS, batch hint
+    IDLE = 5  # CFS idle policy (we route it to the idle class)
+    HPC = 6  # the paper's new policy for HPC (MPI) tasks
+
+
+#: Policies served by the real-time scheduling class.
+RT_POLICIES = frozenset({SchedPolicy.FIFO, SchedPolicy.RR})
+
+#: Policies served by the CFS scheduling class.
+FAIR_POLICIES = frozenset({SchedPolicy.NORMAL, SchedPolicy.BATCH})
+
+#: Policies served by the HPC scheduling class.
+HPC_POLICIES = frozenset({SchedPolicy.HPC})
+
+
+class TaskState(Enum):
+    """Lifecycle states of a simulated task."""
+
+    NEW = "new"  # created, never started
+    READY = "ready"  # runnable, waiting in a run queue
+    RUNNING = "running"  # currently loaded on a CPU context
+    SLEEPING = "sleeping"  # blocked (MPI wait, sleep, ...)
+    EXITED = "exited"  # program finished
+
+
+#: Valid rt_priority range for FIFO/RR tasks (POSIX semantics: larger wins).
+RT_PRIO_MIN = 1
+RT_PRIO_MAX = 99
+
+#: Nice range for CFS tasks.
+NICE_MIN = -20
+NICE_MAX = 19

@@ -1,0 +1,128 @@
+"""/proc-style introspection of the simulated kernel.
+
+Text dumps in the spirit of ``/proc/sched_debug``, ``/proc/<pid>/stat``
+and ``/proc/schedstat`` — invaluable when debugging scheduler behaviour
+(and used by the test suite to assert internal consistency without
+reaching into private state).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.kernel.policies import TaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.core_sched import Kernel
+
+
+def sched_debug(kernel: "Kernel") -> str:
+    """A ``/proc/sched_debug``-like dump: per-CPU runqueues, current
+    task, queued tasks per class, clock and counters."""
+    lines = [
+        f"sched_debug, now={kernel.now:.6f}s",
+        f"nr_switches={kernel.context_switches} "
+        f"nr_migrations={kernel.migrations} live_tasks={kernel.live_tasks}",
+        "",
+    ]
+    for cpu in kernel.machine.cpu_ids:
+        rq = kernel.rqs[cpu]
+        ctx = kernel.machine.context(cpu)
+        cur = rq.current
+        cur_txt = (
+            f"{cur.name} (pid {cur.pid}, {cur.policy.name}, hw {cur.hw_priority})"
+            if cur is not None
+            else "<none>"
+        )
+        lines.append(
+            f"cpu#{cpu}: core={ctx.core.core_id} "
+            f"ctx_prio={int(ctx.priority)} busy={ctx.busy}"
+        )
+        lines.append(f"  curr: {cur_txt}")
+        lines.append(f"  nr_queued: {rq.nr_queued}")
+        for cls in kernel.classes:
+            n = cls.nr_queued(rq)
+            if n:
+                lines.append(f"    {cls.name}: {n} queued")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def task_stat(kernel: "Kernel", pid: int) -> Dict[str, object]:
+    """A ``/proc/<pid>/stat``-like record."""
+    task = kernel.tasks[pid]
+    return {
+        "pid": task.pid,
+        "comm": task.name,
+        "state": task.state.value,
+        "policy": task.policy.name,
+        "cpu": task.cpu,
+        "nice": task.nice,
+        "rt_priority": task.rt_priority,
+        "hw_priority": task.hw_priority,
+        "utime": task.sum_exec_runtime,
+        "vruntime": task.vruntime,
+        "cpus_allowed": sorted(task.cpus_allowed) if task.cpus_allowed else None,
+    }
+
+
+def ps(kernel: "Kernel") -> str:
+    """A ``ps``-like table of all known tasks."""
+    lines = [
+        f"{'PID':>5} {'COMM':<14} {'POLICY':<7} {'STATE':<9} "
+        f"{'CPU':>3} {'HW':>3} {'RUNTIME':>10}"
+    ]
+    for pid in sorted(kernel.tasks):
+        t = kernel.tasks[pid]
+        lines.append(
+            f"{t.pid:>5} {t.name:<14} {t.policy.name:<7} {t.state.value:<9} "
+            f"{t.cpu if t.cpu is not None else '-':>3} {t.hw_priority:>3} "
+            f"{t.sum_exec_runtime:>9.4f}s"
+        )
+    return "\n".join(lines)
+
+
+def schedstat(kernel: "Kernel") -> Dict[str, object]:
+    """Aggregate scheduler statistics (``/proc/schedstat``-like)."""
+    runnable = sum(
+        1
+        for t in kernel.tasks.values()
+        if t.state in (TaskState.READY, TaskState.RUNNING)
+    )
+    return {
+        "now": kernel.now,
+        "nr_switches": kernel.context_switches,
+        "nr_migrations": kernel.migrations,
+        "nr_tasks": len(kernel.tasks),
+        "nr_runnable": runnable,
+        "events_processed": kernel.sim.events_processed,
+        "wakeups": kernel.latency_stats.overall.count,
+        "mean_wakeup_latency": kernel.latency_stats.overall.mean,
+        "max_wakeup_latency": kernel.latency_stats.overall.max,
+    }
+
+
+def consistency_check(kernel: "Kernel") -> List[str]:
+    """Cross-check kernel invariants; returns a list of violations
+    (empty = healthy).  Used by tests as a deep sanity probe."""
+    problems: List[str] = []
+    for cpu in kernel.machine.cpu_ids:
+        rq = kernel.rqs[cpu]
+        cur = rq.current
+        if cur is not None and not cur.is_idle_task:
+            if cur.state != TaskState.RUNNING:
+                problems.append(f"cpu{cpu}: current {cur.name} not RUNNING")
+            if cur.cpu != cpu:
+                problems.append(f"cpu{cpu}: current {cur.name} thinks cpu={cur.cpu}")
+        queued = sum(cls.nr_queued(rq) for cls in kernel.classes)
+        if queued != rq.nr_queued:
+            problems.append(
+                f"cpu{cpu}: nr_queued {rq.nr_queued} != class sum {queued}"
+            )
+    for t in kernel.tasks.values():
+        if t.state == TaskState.READY and t.cpu is None:
+            problems.append(f"task {t.name}: READY without a cpu")
+        if t.state == TaskState.RUNNING:
+            if t.cpu is None or kernel.rqs[t.cpu].current is not t:
+                problems.append(f"task {t.name}: RUNNING but not current")
+    return problems

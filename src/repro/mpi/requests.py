@@ -1,0 +1,33 @@
+"""Non-blocking request handles (MPI_Request equivalents)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mpi.messages import Message
+
+
+class RequestHandle:
+    """Returned by ``isend``/``irecv``; completed by the runtime."""
+
+    _next_id = 0
+
+    def __init__(self, kind: str, rank: int, source: int = -2, tag: int = -2) -> None:
+        self.kind = kind  # "isend" | "irecv"
+        self.rank = rank  # owner rank
+        self.source = source  # irecv matching
+        self.tag = tag
+        self.complete = False
+        self.message: Optional[Message] = None
+        self.rid = RequestHandle._next_id
+        RequestHandle._next_id += 1
+
+    def finish(self, message: Optional[Message] = None) -> None:
+        """Mark the request complete (with the matched message, for
+        receives)."""
+        self.complete = True
+        self.message = message
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "done" if self.complete else "pending"
+        return f"<Request {self.kind} r{self.rank} {state}>"

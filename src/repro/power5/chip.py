@@ -1,0 +1,41 @@
+"""POWER5 chip: two SMT cores sharing the off-core hierarchy."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.power5.core import SMTCore
+from repro.power5.perfmodel import PerformanceModel
+
+
+class POWER5Chip:
+    """A dual-core POWER5 chip (4 logical CPUs)."""
+
+    def __init__(
+        self,
+        chip_id: int,
+        first_core_id: int,
+        first_cpu_id: int,
+        perf_model: Optional[PerformanceModel] = None,
+        cores: int = 2,
+        threads_per_core: int = 2,
+    ) -> None:
+        self.chip_id = chip_id
+        self.cores: List[SMTCore] = []
+        for i in range(cores):
+            self.cores.append(
+                SMTCore(
+                    core_id=first_core_id + i,
+                    first_cpu_id=first_cpu_id + i * threads_per_core,
+                    perf_model=perf_model,
+                    threads=threads_per_core,
+                )
+            )
+
+    @property
+    def contexts(self):
+        for core in self.cores:
+            yield from core.contexts
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<POWER5Chip {self.chip_id} cores={len(self.cores)}>"

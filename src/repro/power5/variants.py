@@ -1,0 +1,103 @@
+"""Priority-mechanism variants: POWER5, POWER6 and the CELL SPEs.
+
+Paper §I: the POWER5 is not isolated — the IBM POWER6 provides "a
+similar prioritization mechanism" and the CELL exposes 3 levels of
+hardware priority per running task.  This module generalizes the
+priority-to-resource-share mapping behind a small
+:class:`PriorityArchitecture` abstraction, so the analytic
+:class:`~repro.power5.perfmodel.DecodeShareModel` (and experiments that
+want to ask "what if this ran on a CELL-style 3-level mechanism?") can
+swap architectures.
+
+Only the *mechanism* varies; the scheduler, detector and heuristics are
+architecture-independent by design (paper §IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from repro.power5.decode import decode_shares as _power5_shares
+from repro.power5.priorities import PriorityError
+
+
+@dataclass(frozen=True)
+class PriorityArchitecture:
+    """A hardware prioritization scheme.
+
+    Attributes
+    ----------
+    name:
+        Identifier ("power5", "power6", "cell-spe").
+    n_levels:
+        Number of hardware priority levels (priorities are
+        ``0..n_levels-1``).
+    default_priority:
+        The "normal" level tasks start at.
+    shares_fn:
+        ``(prio_a, prio_b) -> (share_a, share_b)`` resource split for
+        two co-scheduled tasks.
+    """
+
+    name: str
+    n_levels: int
+    default_priority: int
+    shares_fn: Callable[[int, int], Tuple[float, float]]
+
+    def validate(self, priority: int) -> int:
+        """Range-check a priority for this architecture."""
+        if not 0 <= priority < self.n_levels:
+            raise PriorityError(
+                f"{self.name}: priority {priority} not in 0..{self.n_levels - 1}"
+            )
+        return priority
+
+    def shares(self, prio_a: int, prio_b: int) -> Tuple[float, float]:
+        """Resource split for two co-scheduled tasks (validated)."""
+        self.validate(prio_a)
+        self.validate(prio_b)
+        return self.shares_fn(prio_a, prio_b)
+
+
+def _power6_shares(prio_a: int, prio_b: int) -> Tuple[float, float]:
+    """POWER6 keeps the POWER5 software interface; the dispatch-rate
+    bias is the same exponential family (Le et al., IBM JRD 2007)."""
+    return _power5_shares(prio_a, prio_b)
+
+
+#: CELL-style weights: 3 levels with a 4x span between consecutive
+#: levels — coarser than POWER5's windows but the same monotonic idea.
+_CELL_WEIGHTS = (1.0, 4.0, 16.0)
+
+
+def _cell_shares(prio_a: int, prio_b: int) -> Tuple[float, float]:
+    wa, wb = _CELL_WEIGHTS[prio_a], _CELL_WEIGHTS[prio_b]
+    total = wa + wb
+    return (wa / total, wb / total)
+
+
+POWER5_ARCH = PriorityArchitecture(
+    name="power5",
+    n_levels=8,
+    default_priority=4,
+    shares_fn=_power5_shares,
+)
+
+POWER6_ARCH = PriorityArchitecture(
+    name="power6",
+    n_levels=8,
+    default_priority=4,
+    shares_fn=_power6_shares,
+)
+
+CELL_SPE_ARCH = PriorityArchitecture(
+    name="cell-spe",
+    n_levels=3,
+    default_priority=1,
+    shares_fn=_cell_shares,
+)
+
+ARCHITECTURES = {
+    arch.name: arch for arch in (POWER5_ARCH, POWER6_ARCH, CELL_SPE_ARCH)
+}

@@ -1,0 +1,140 @@
+"""The simulation engine: clock + event loop.
+
+The :class:`Simulator` advances a simulated clock by draining an
+:class:`~repro.simcore.events.EventQueue`.  Components schedule callbacks
+with :meth:`Simulator.at` / :meth:`Simulator.after`; the engine guarantees:
+
+* the clock never moves backwards,
+* events at the same instant fire in (priority, insertion) order,
+* a hard event-count limit catches accidental livelock (zero-delay loops).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.simcore.events import Event, EventQueue
+
+#: Default ceiling on processed events, generous enough for multi-hundred
+#: simulated seconds of a 4-CPU machine, small enough to catch livelocks.
+DEFAULT_MAX_EVENTS = 50_000_000
+
+
+class SimulationError(RuntimeError):
+    """Raised for engine misuse (time travel, livelock, ...)."""
+
+
+class Simulator:
+    """Discrete-event simulator with a float clock in simulated seconds."""
+
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS) -> None:
+        self.now: float = 0.0
+        self.queue = EventQueue()
+        self.max_events = max_events
+        self.events_processed = 0
+        self._running = False
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------
+    # Scheduling API
+    # ------------------------------------------------------------------
+    def at(
+        self,
+        time: float,
+        fn: Callable[[], Any],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``fn`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {time} (< now {self.now})"
+            )
+        return self.queue.push(time, fn, priority, label)
+
+    def after(
+        self,
+        delay: float,
+        fn: Callable[[], Any],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``fn`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.queue.push(self.now + delay, fn, priority, label)
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns ``False`` when the queue
+        is empty (nothing fired)."""
+        ev = self.queue.pop()
+        if ev is None:
+            return False
+        if ev.time < self.now:
+            raise SimulationError(
+                f"event {ev!r} scheduled in the past (now={self.now})"
+            )
+        self.now = ev.time
+        self.events_processed += 1
+        if self.events_processed > self.max_events:
+            raise SimulationError(
+                f"event limit {self.max_events} exceeded at t={self.now}: "
+                "likely a zero-delay event livelock"
+            )
+        ev.fn()
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> float:
+        """Drain the event queue.
+
+        Parameters
+        ----------
+        until:
+            Optional simulated-time horizon; events beyond it stay queued
+            and the clock is advanced to ``until``.
+        stop_when:
+            Optional predicate evaluated after every event; the run stops
+            as soon as it returns ``True``.
+
+        Returns the simulated time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stop_requested = False
+        try:
+            while True:
+                if self._stop_requested:
+                    break
+                nxt = self.queue.peek_time()
+                if nxt is None:
+                    break
+                if until is not None and nxt > until:
+                    self.now = max(self.now, until)
+                    break
+                self.step()
+                if stop_when is not None and stop_when():
+                    break
+            if until is not None and self.queue.peek_time() is None:
+                self.now = max(self.now, until)
+        finally:
+            self._running = False
+        return self.now
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` loop to stop after the event
+        being processed."""
+        self._stop_requested = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<Simulator now={self.now:.6f} pending={len(self.queue)} "
+            f"processed={self.events_processed}>"
+        )

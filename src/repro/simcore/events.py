@@ -1,0 +1,114 @@
+"""Event and event-queue primitives for the discrete-event engine.
+
+Events are ordered by ``(time, priority, seq)``.  ``priority`` breaks ties
+between events scheduled for the same instant (lower runs first) and ``seq``
+is a monotonically increasing sequence number that keeps ordering stable and
+deterministic for equal ``(time, priority)`` pairs.
+
+Cancellation is *lazy*: :meth:`Event.cancel` flags the event and the queue
+drops flagged entries when they surface, which is O(1) per cancel and keeps
+the heap simple.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulated time at which the callback fires.
+    priority:
+        Tie-break rank for events at the same time; lower fires first.
+    seq:
+        Insertion sequence number (assigned by the queue).
+    fn:
+        Zero-argument callable invoked when the event fires.
+    label:
+        Optional human-readable tag used in debug dumps.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "label", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        fn: Callable[[], Any],
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.label = label
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the queue discards it instead of firing it."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """Whether the event is still pending (not cancelled)."""
+        return not self.cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.9f} prio={self.priority} {self.label!r} {state}>"
+
+
+class EventQueue:
+    """A cancellable priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(
+        self,
+        time: float,
+        fn: Callable[[], Any],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``fn`` at absolute ``time`` and return its handle."""
+        ev = Event(time, priority, self._seq, fn, label)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest pending event, skipping cancelled
+        entries.  Returns ``None`` when the queue is exhausted."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if not ev.cancelled:
+                return ev
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest pending event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()

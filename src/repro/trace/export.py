@@ -1,0 +1,101 @@
+"""Trace and result export: CSV files + bundle writer.
+
+Complements the .prv export with analysis-friendly CSVs (state
+intervals, per-task stats, priority changes) and a one-call bundle
+writer used by ``repro-hpcsched export``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import TYPE_CHECKING, Optional
+
+from repro.trace.collector import TraceCollector
+from repro.trace.gantt import render_gantt
+from repro.trace.paraver import export_prv
+from repro.trace.stats import compute_stats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.common import ExperimentResult
+
+
+def intervals_csv(trace: TraceCollector, end_time: float) -> str:
+    """One row per state interval: pid, name, state, start, end, cpu."""
+    trace.finish(end_time)
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["pid", "name", "state", "start", "end", "cpu"])
+    for pid in sorted(trace.timelines):
+        tl = trace.timelines[pid]
+        for iv in tl.intervals:
+            writer.writerow(
+                [pid, tl.name, iv.state.value, f"{iv.start:.9f}",
+                 f"{iv.end:.9f}", iv.cpu if iv.cpu is not None else ""]
+            )
+    return buf.getvalue()
+
+
+def stats_csv(trace: TraceCollector, end_time: float) -> str:
+    """Per-task summary: the numbers behind the paper-style tables."""
+    stats = compute_stats(trace, end_time)
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(
+        ["pid", "name", "running", "ready", "waiting", "span",
+         "pct_comp", "pct_running"]
+    )
+    for name in sorted(stats):
+        s = stats[name]
+        writer.writerow(
+            [s.pid, s.name, f"{s.running:.9f}", f"{s.ready:.9f}",
+             f"{s.waiting:.9f}", f"{s.span:.9f}",
+             f"{s.pct_comp:.4f}", f"{s.pct_running:.4f}"]
+        )
+    return buf.getvalue()
+
+
+def priority_changes_csv(trace: TraceCollector) -> str:
+    """Hardware-priority change log."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["time", "pid", "name", "priority"])
+    for ev in trace.priority_changes():
+        writer.writerow([f"{ev.time:.9f}", ev.pid, ev.name, ev.info["priority"]])
+    return buf.getvalue()
+
+
+def write_bundle(
+    result: "ExperimentResult",
+    directory: str,
+    prefix: Optional[str] = None,
+) -> list:
+    """Write a full artifact bundle for one experiment run.
+
+    Emits ``<prefix>.prv`` (PARAVER), ``<prefix>.intervals.csv``,
+    ``<prefix>.stats.csv``, ``<prefix>.priorities.csv`` and
+    ``<prefix>.gantt.txt``.  Returns the written paths.
+    """
+    if result.trace is None:
+        raise ValueError(
+            "result has no trace; run the experiment with keep_trace=True"
+        )
+    prefix = prefix or f"{result.workload}-{result.scheduler}"
+    os.makedirs(directory, exist_ok=True)
+    outputs = {
+        f"{prefix}.prv": export_prv(result.trace, result.exec_time),
+        f"{prefix}.intervals.csv": intervals_csv(result.trace, result.exec_time),
+        f"{prefix}.stats.csv": stats_csv(result.trace, result.exec_time),
+        f"{prefix}.priorities.csv": priority_changes_csv(result.trace),
+        f"{prefix}.gantt.txt": render_gantt(
+            result.trace, result.exec_time, width=120
+        ),
+    }
+    paths = []
+    for filename, content in outputs.items():
+        path = os.path.join(directory, filename)
+        with open(path, "w") as fh:
+            fh.write(content)
+        paths.append(path)
+    return paths

@@ -1,0 +1,71 @@
+"""Iteration-analytics tests: the paper's convergence claims, measured."""
+
+import pytest
+
+from repro.analysis.iterations import (
+    balance_series,
+    iteration_series,
+    iterations_to_balance,
+    rebalance_latencies,
+)
+from repro.experiments import metbench, metbenchvar
+
+
+@pytest.fixture(scope="module")
+def metbench_run():
+    return metbench.run_one("uniform", iterations=8, keep_trace=True)
+
+
+@pytest.fixture(scope="module")
+def metbenchvar_run():
+    return metbenchvar.run_one("uniform", iterations=12, k=4, keep_trace=True)
+
+
+WORKERS = ["P1", "P2", "P3", "P4"]
+
+
+def test_iteration_series_structure(metbench_run):
+    series = iteration_series(metbench_run.trace, WORKERS)
+    assert set(series) == set(WORKERS)
+    for samples in series.values():
+        assert len(samples) == 8
+        assert [s.index for s in samples] == list(range(1, 9))
+        times = [s.time for s in samples]
+        assert times == sorted(times)
+        assert all(0.0 <= s.util <= 1.0 for s in samples)
+
+
+def test_balance_series_shrinks(metbench_run):
+    spreads = balance_series(metbench_run.trace, WORKERS)
+    assert spreads[0] > 60.0  # iteration 1: the raw imbalance
+    assert spreads[-1] < 10.0  # balanced thereafter
+
+
+def test_paper_claim_balanced_in_one_or_two_iterations(metbench_run):
+    """§I: 'the scheduler is able to detect the correct hardware
+    priority quickly (in one or two iterations)' — measured."""
+    n = iterations_to_balance(metbench_run.trace, WORKERS)
+    assert n is not None and n <= 2
+
+
+def test_paper_claim_rebalance_within_a_few_iterations(metbenchvar_run):
+    """§V-B: after each reversal the scheduler needs ~2 iterations to
+    detect and correct the new imbalance — measured."""
+    lats = rebalance_latencies(metbenchvar_run.trace, WORKERS)
+    assert lats, "no excursions detected (k too large?)"
+    assert all(lat <= 4 for lat in lats)
+    assert min(lats) <= 3
+
+
+def test_baseline_never_balances():
+    base = metbench.run_one("cfs", iterations=5, keep_trace=True)
+    assert iterations_to_balance(base.trace, WORKERS) is None
+
+
+def test_empty_trace():
+    from repro.trace.collector import TraceCollector
+
+    trace = TraceCollector()
+    assert balance_series(trace) == []
+    assert iterations_to_balance(trace) is None
+    assert rebalance_latencies(trace) == []

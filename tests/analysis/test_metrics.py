@@ -1,0 +1,39 @@
+"""Metric helper tests."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    critical_path_bound,
+    imbalance_percent,
+    percent_improvement,
+    speedup,
+)
+
+
+def test_speedup():
+    assert speedup(10.0, 5.0) == 2.0
+    with pytest.raises(ValueError):
+        speedup(10.0, 0.0)
+
+
+def test_percent_improvement():
+    assert percent_improvement(100.0, 87.0) == pytest.approx(13.0)
+    assert percent_improvement(100.0, 100.0) == 0.0
+    assert percent_improvement(100.0, 110.0) == pytest.approx(-10.0)
+    with pytest.raises(ValueError):
+        percent_improvement(0.0, 1.0)
+
+
+def test_imbalance_percent_fractions_and_percent():
+    assert imbalance_percent([0.25, 1.0]) == pytest.approx(75.0)
+    assert imbalance_percent([25.0, 100.0]) == pytest.approx(75.0)
+    assert imbalance_percent([]) == 0.0
+    assert imbalance_percent([0.5]) == 0.0
+
+
+def test_critical_path_bound():
+    assert critical_path_bound([1.0, 3.0, 2.0]) == 3.0
+    assert critical_path_bound([1.0, 3.0], speed=2.0) == 1.5
+    assert critical_path_bound([]) == 0.0
+    with pytest.raises(ValueError):
+        critical_path_bound([1.0], speed=0.0)

@@ -1,0 +1,54 @@
+"""Paper-style table formatting tests."""
+
+import pytest
+
+from repro.analysis.tables import format_characterization_table, format_comparison
+from repro.experiments.common import ExperimentResult, TaskResult
+
+
+def make_result(sched, exec_time, comps):
+    res = ExperimentResult(workload="wl", scheduler=sched, exec_time=exec_time)
+    for name, comp in comps.items():
+        res.tasks[name] = TaskResult(
+            name=name, pct_comp=comp, pct_running=comp,
+            priority=4 if sched in ("cfs", "static") else None,
+            running=1.0, waiting=1.0, ready=0.0,
+        )
+    return res
+
+
+def test_characterization_table_layout():
+    res = make_result("cfs", 81.78, {"P1": 25.3, "P2": 100.0})
+    out = format_characterization_table([res], title="Table III")
+    lines = out.splitlines()
+    assert lines[0] == "Table III"
+    assert "Baseline 2.6.24" in out
+    assert "81.78s" in out
+    assert "P1" in out and "P2" in out
+
+
+def test_dynamic_priority_renders_dash():
+    res = make_result("uniform", 71.74, {"P1": 96.2})
+    out = format_characterization_table([res])
+    assert "-" in out.splitlines()[-1]
+
+
+def test_comparison_includes_deltas_and_improvements():
+    results = {
+        "cfs": make_result("cfs", 80.0, {"P1": 25.0}),
+        "uniform": make_result("uniform", 72.0, {"P1": 96.0}),
+    }
+    out = format_comparison(
+        results,
+        paper_exec={"cfs": 81.78, "uniform": 71.74},
+        paper_comp={"uniform": {"P1": 96.17}},
+    )
+    assert "-2.2%" in out  # 80.0 vs 81.78
+    assert "improvement uniform over cfs: 10.0%" in out
+    assert "P1=96.0/96.2" in out
+
+
+def test_comparison_handles_missing_paper_values():
+    results = {"cfs": make_result("cfs", 80.0, {"P1": 25.0})}
+    out = format_comparison(results, paper_exec={})
+    assert "n/a" in out

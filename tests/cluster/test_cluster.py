@@ -1,0 +1,96 @@
+"""Cluster simulation tests."""
+
+import pytest
+
+from repro.cluster import Cluster, InterconnectModel
+from repro.cluster.experiment import run_cluster
+from repro.cluster.gang import block_placement
+from repro.hpcsched import UniformHeuristic
+from repro.mpi.process import MPIRank
+
+
+def test_nodes_share_one_clock():
+    c = Cluster(n_nodes=3)
+    assert all(n.kernel.sim is c.sim for n in c.nodes)
+    assert len(c.nodes) == 3
+    assert c.cpus_per_node == 4
+
+
+def test_each_node_gets_its_own_hpcsched():
+    c = Cluster(n_nodes=2)
+    assert c.nodes[0].hpc_class is not None
+    assert c.nodes[0].hpc_class is not c.nodes[1].hpc_class
+
+
+def test_no_hpc_when_factory_none():
+    c = Cluster(n_nodes=2, heuristic_factory=None)
+    assert all(n.hpc_class is None for n in c.nodes)
+    assert not c.use_hpc
+
+
+def test_inter_node_messages_cost_more():
+    c = Cluster(n_nodes=2)
+    c._rank_node = {0: 0, 1: 0, 2: 1}
+    intra = c._route_delay(0, 1, 1024)
+    inter = c._route_delay(0, 2, 1024)
+    assert inter > intra
+
+
+def test_cross_node_application_completes():
+    c = Cluster(n_nodes=2, heuristic_factory=None)
+    log = []
+
+    def ping(mpi: MPIRank):
+        def prog():
+            yield mpi.compute(0.01)
+            yield mpi.send(1, tag=0)
+            yield mpi.recv(1, tag=1)
+            log.append("ping-done")
+
+        return prog()
+
+    def pong(mpi: MPIRank):
+        def prog():
+            yield mpi.recv(0, tag=0)
+            yield mpi.compute(0.01)
+            yield mpi.send(0, tag=1)
+            log.append("pong-done")
+
+        return prog()
+
+    placement = block_placement(2, 2, 1)  # rank0 -> node0, rank1 -> node1
+    # widen to the real cpus_per_node mapping
+    placement.slots[1] = type(placement.slots[1])(1, 0)
+    c.launch([ping, pong], placement)
+    c.run()
+    assert sorted(log) == ["ping-done", "pong-done"]
+
+
+def test_launch_requires_full_placement():
+    c = Cluster(n_nodes=1, heuristic_factory=None)
+    placement = block_placement(1, 1, 4)
+    with pytest.raises(ValueError):
+        c.launch([lambda m: iter(()), lambda m: iter(())], placement)
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(ValueError):
+        run_cluster("random")
+
+
+@pytest.mark.slow
+def test_gang_beats_block_and_hpc_compounds():
+    """The §VI future-work result: gang placement fixes what the local
+    scheduler cannot (node imbalance, heavy-heavy pairs); the local
+    HPCSched then absorbs the remaining intra-core imbalance."""
+    block_plain = run_cluster("block", iterations=4, use_hpc=False)
+    block_hpc = run_cluster("block", iterations=4, use_hpc=True)
+    gang_plain = run_cluster("gang", iterations=4, use_hpc=False)
+    gang_hpc = run_cluster("gang", iterations=4, use_hpc=True)
+
+    # gang placement is the big lever
+    assert gang_plain.exec_time < 0.7 * block_plain.exec_time
+    # HPCSched cannot rescue heavy-heavy pairings...
+    assert block_hpc.exec_time == pytest.approx(block_plain.exec_time, rel=0.02)
+    # ...but compounds with gang placement
+    assert gang_hpc.exec_time < gang_plain.exec_time

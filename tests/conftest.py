@@ -1,0 +1,59 @@
+"""Shared fixtures: kernels, simple task programs, workload helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import build_kernel
+from repro.kernel.core_sched import Kernel
+from repro.kernel.syscalls import Compute, Sleep
+from repro.power5.machine import Machine, MachineTopology
+from repro.power5.perfmodel import CPU_BOUND, TableDrivenModel
+from repro.trace.collector import TraceCollector
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    """A kernel on the paper's machine with tracing enabled."""
+    return build_kernel()
+
+
+@pytest.fixture
+def quiet_kernel() -> Kernel:
+    """A kernel without tracing (cheaper)."""
+    machine = Machine(MachineTopology(), TableDrivenModel())
+    return Kernel(machine=machine)
+
+
+def compute_sleep_program(iterations: int, work: float, pause: float = 0.01):
+    """A task that alternates compute and sleep phases."""
+
+    def prog():
+        for _ in range(iterations):
+            yield Compute(work)
+            yield Sleep(pause)
+
+    return prog()
+
+
+def pure_compute_program(work: float):
+    def prog():
+        yield Compute(work)
+
+    return prog()
+
+
+@pytest.fixture
+def make_compute_task(kernel):
+    """Factory: spawn a compute/sleep task on the traced kernel."""
+
+    def _make(name="t", iterations=1, work=0.1, pause=0.01, cpu=None, **kw):
+        return kernel.spawn(
+            name,
+            compute_sleep_program(iterations, work, pause),
+            cpu=cpu,
+            perf_profile=kw.pop("perf_profile", CPU_BOUND),
+            **kw,
+        )
+
+    return _make

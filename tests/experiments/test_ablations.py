@@ -1,0 +1,42 @@
+"""Ablation experiment tests (reduced sizes)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablation_gl,
+    ablation_latency,
+    ablation_priority_range,
+)
+
+
+@pytest.mark.slow
+def test_gl_sweep_produces_all_weightings():
+    out = ablation_gl(weights=((1.0, 0.0), (0.1, 0.9)), iterations=6, k=3)
+    assert "G=1.00/L=0.00" in out
+    assert "G=0.10/L=0.90" in out
+    assert "cfs" in out
+    base = out["cfs"].exec_time
+    # every weighting still beats the baseline on MetBenchVar
+    for key, res in out.items():
+        if key != "cfs":
+            assert res.exec_time < base
+
+
+@pytest.mark.slow
+def test_latency_ablation_decomposes_gain():
+    out = ablation_latency(scf_steps=4)
+    assert out["hpcsched_full"] <= out["cfs"]
+    assert out["hpc_policy_only"] <= out["cfs"]
+    # most of SIESTA's gain is the scheduling policy itself (§V-D)
+    assert out["policy_gain_pct"] > 0.5 * out["full_gain_pct"]
+
+
+@pytest.mark.slow
+def test_priority_range_ablation():
+    out = ablation_priority_range(ranges=((4, 5), (4, 6)), iterations=6)
+    base = out["cfs"].exec_time
+    narrow = out["[4,5]"].exec_time
+    paper = out["[4,6]"].exec_time
+    assert paper < base
+    # +-1 cannot balance MetBench's ~7x speed-ratio requirement as well
+    assert paper <= narrow

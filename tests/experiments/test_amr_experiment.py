@@ -1,0 +1,28 @@
+"""AMR experiment-module tests (registry wiring + matrix shape)."""
+
+import pytest
+
+from repro.experiments.amr import run_amr, run_one
+from repro.experiments.registry import run_by_id
+
+
+def test_registered():
+    from repro.experiments.registry import all_ids
+
+    assert "amr" in all_ids()
+
+
+@pytest.mark.slow
+def test_matrix_shape():
+    out = run_by_id("amr", iterations=20)
+    assert set(out) == {"cfs", "uniform", "adaptive", "hybrid"}
+    base = out["cfs"]
+    for sched in ("uniform", "adaptive", "hybrid"):
+        assert out[sched].exec_time < base.exec_time
+        assert out[sched].priority_changes >= 2
+
+
+def test_run_one():
+    res = run_one("cfs", iterations=4, keep_trace=False)
+    assert res.workload == "amr-drift"
+    assert len(res.tasks) == 4

@@ -1,0 +1,54 @@
+"""Characterization experiment (reference [4] methodology) tests."""
+
+import pytest
+
+from repro.experiments.characterization import (
+    characterize,
+    measure_pair,
+    render,
+)
+from repro.power5.decode import decode_shares
+from repro.power5.perfmodel import CPU_BOUND, MEM_BOUND
+
+
+def test_equal_priorities_baseline():
+    m = measure_pair(4, 4, duration=0.25)
+    assert m.speed_a == pytest.approx(1.0, rel=1e-3)
+    assert m.speed_b == pytest.approx(1.0, rel=1e-3)
+    assert m.decode_share_a == pytest.approx(0.5, abs=1e-6)
+
+
+def test_pmu_shares_match_table1():
+    m = measure_pair(6, 2, duration=0.25)
+    ea, eb = decode_shares(6, 2)
+    assert m.decode_share_a == pytest.approx(ea, abs=1e-6)
+    assert m.decode_share_b == pytest.approx(eb, abs=1e-6)
+
+
+def test_speeds_round_trip_the_calibrated_model():
+    m = measure_pair(6, 4, duration=0.25)
+    assert m.speed_a == pytest.approx(CPU_BOUND.dprio_speed[2], rel=1e-3)
+    assert m.speed_b == pytest.approx(CPU_BOUND.dprio_speed[-2], rel=1e-3)
+
+
+def test_mem_bound_profile_insensitive():
+    m = measure_pair(6, 4, profile=MEM_BOUND, duration=0.25)
+    assert m.speed_a < 1.05
+    assert m.speed_b > 0.95
+
+
+@pytest.mark.slow
+def test_full_sweep_consistency():
+    from repro.experiments.registry import run_by_id
+
+    out = run_by_id("characterization")
+    assert out["max_share_error"] < 1e-9
+    assert out["max_speed_error"] < 1e-9
+    assert "speed of task A" in out["rendered"]
+
+
+def test_render_matrix_shape():
+    ms = characterize(prio_range=(3, 4, 5))
+    text = render(ms)
+    lines = text.splitlines()
+    assert len(lines) == 2 + 3  # title + header + 3 rows

@@ -1,0 +1,40 @@
+"""Figure-generation tests (reduced sizes)."""
+
+import pytest
+
+from repro.experiments.figures import figure1, figure2, figure3, figure6
+
+
+def test_figure1_class_orders():
+    out = figure1()
+    assert out["order_standard"] == ["rt", "fair", "idle"]
+    assert out["order_hpcsched"] == ["rt", "hpc", "fair", "idle"]
+    assert "1. rt" in out["standard"]
+    assert "2. hpc" in out["hpcsched"]
+
+
+def test_figure2_iteration_structure():
+    out = figure2(iterations=3)
+    spans = out["spans"]
+    kinds = [k for k, _, _ in spans]
+    # alternating compute / wait pattern (paper Fig. 2)
+    assert "RUNNING" in kinds and "WAITING" in kinds
+    runs = kinds.count("RUNNING")
+    waits = kinds.count("WAITING")
+    assert runs >= 3 and waits >= 3
+    assert "#" in out["gantt"] and "." in out["gantt"]
+
+
+@pytest.mark.slow
+def test_figure3_renders_all_four_schedulers():
+    out = figure3(iterations=4)
+    assert set(out) == {"cfs", "static", "uniform", "adaptive"}
+    for entry in out.values():
+        assert "P1" in entry["gantt"]
+        assert entry["exec_time"] > 0
+
+
+@pytest.mark.slow
+def test_figure6_renders_three_schedulers():
+    out = figure6(scf_steps=2)
+    assert set(out) == {"cfs", "uniform", "adaptive"}

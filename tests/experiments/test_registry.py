@@ -1,0 +1,25 @@
+"""Experiment registry tests."""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, all_ids, run_by_id
+
+
+def test_all_paper_ids_registered():
+    ids = all_ids()
+    for required in (
+        "table1", "table3", "table4", "table5", "table6",
+        "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+        "ablation_gl", "ablation_latency", "ablation_priority_range",
+    ):
+        assert required in ids
+
+
+def test_unknown_id_raises_with_known_list():
+    with pytest.raises(KeyError, match="table3"):
+        run_by_id("nope")
+
+
+def test_run_by_id_dispatches():
+    out = run_by_id("fig1")
+    assert out["order_hpcsched"] == ["rt", "hpc", "fair", "idle"]

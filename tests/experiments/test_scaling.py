@@ -1,0 +1,60 @@
+"""Scaling beyond the paper's machine: multi-chip MetBench."""
+
+import pytest
+
+from repro.experiments.common import run_experiment
+from repro.power5.machine import MachineTopology
+from repro.workloads.metbench import (
+    DEFAULT_BIG_LOAD,
+    DEFAULT_SMALL_LOAD,
+    MetBench,
+)
+
+
+def metbench8(iterations=14):
+    """8 workers on a 2-chip (8-CPU) machine, one small/big pair per
+    core — the paper's setup doubled."""
+    loads = [DEFAULT_SMALL_LOAD, DEFAULT_BIG_LOAD] * 4
+    return MetBench(loads=loads, iterations=iterations, cpus=list(range(8)))
+
+
+TOPOLOGY = MachineTopology(chips=2)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        sched: run_experiment(
+            metbench8(), sched, topology=TOPOLOGY, keep_trace=False
+        )
+        for sched in ("cfs", "uniform")
+    }
+
+
+def test_eight_workers_run_on_eight_cpus(results):
+    assert set(results["cfs"].tasks) == {f"P{i}" for i in range(1, 9)}
+
+
+def test_baseline_imbalance_replicates_per_core(results):
+    base = results["cfs"]
+    for i in (1, 3, 5, 7):  # small-load workers
+        assert base.tasks[f"P{i}"].pct_comp < 30
+    for i in (2, 4, 6, 8):  # big-load workers
+        assert base.tasks[f"P{i}"].pct_comp > 99
+
+
+def test_hpcsched_balances_all_four_cores(results):
+    uni = results["uniform"]
+    base = results["cfs"]
+    assert uni.improvement_over(base) > 8.0
+    for name, tr in uni.tasks.items():
+        assert tr.pct_comp > 90, name
+    # one boost per big worker
+    assert uni.priority_changes == 4
+
+
+def test_iteration_time_matches_single_chip(results):
+    """Cores are independent: doubling the machine must not change the
+    per-iteration time (same core-pair workload everywhere)."""
+    per_iter = results["cfs"].exec_time / 14
+    assert per_iter == pytest.approx(81.78 / 45, rel=0.02)

@@ -1,0 +1,31 @@
+"""Table I / II exactness experiments."""
+
+from repro.experiments.registry import run_by_id
+from repro.experiments.table1 import (
+    PAPER_TABLE1,
+    generate_table1,
+    generate_table2,
+    render_table1,
+)
+
+
+def test_generated_table1_matches_paper_exactly():
+    assert generate_table1() == PAPER_TABLE1
+
+
+def test_run_table1_reports_exact():
+    out = run_by_id("table1")
+    assert out["table1_exact"] is True
+    assert out["table2_exact"] is True
+
+
+def test_render_table1_contains_all_rows():
+    text = render_table1()
+    for r in (2, 4, 8, 16, 32, 64):
+        assert f" {r} " in text or f"{r:>4}" in text
+
+
+def test_table2_has_eight_levels():
+    rows = generate_table2()
+    assert len(rows) == 8
+    assert [r[0] for r in rows] == list(range(8))

@@ -1,0 +1,98 @@
+"""HPC workload-balancer tests (paper §IV-A domain balancing)."""
+
+import pytest
+
+from repro.hpcsched import attach_hpcsched
+from repro.hpcsched.balance import hpc_task_distribution, spread_hpc_tasks
+from repro.kernel import SchedPolicy
+from tests.conftest import pure_compute_program
+
+
+def hpc_task(k, name, cpu):
+    return k.spawn(
+        name, pure_compute_program(1.0), cpu=cpu, policy=SchedPolicy.HPC
+    )
+
+
+def test_distribution_counts_runnable_hpc_only(quiet_kernel):
+    k = quiet_kernel
+    attach_hpcsched(k)
+    hpc_task(k, "a", 0)
+    k.spawn("n", pure_compute_program(1.0), cpu=0)  # CFS: not counted
+    dist = hpc_task_distribution(k)
+    assert dist == {0: 1, 1: 0, 2: 0, 3: 0}
+
+
+def test_papers_example_one_vs_three(quiet_kernel):
+    """Paper §IV-A: core0 holds 1 task, core1 holds 3 -> balance to
+    2 per core domain."""
+    k = quiet_kernel
+    attach_hpcsched(k)
+    hpc_task(k, "a", 0)
+    for i, cpu in enumerate((2, 2, 3)):
+        hpc_task(k, f"b{i}", cpu)
+    moves = spread_hpc_tasks(k)
+    dist = hpc_task_distribution(k)
+    core0 = dist[0] + dist[1]
+    core1 = dist[2] + dist[3]
+    assert moves >= 1
+    assert abs(core0 - core1) <= 1
+    # context level balanced too
+    assert all(v <= 1 for v in dist.values())
+
+
+def test_already_balanced_makes_no_moves(quiet_kernel):
+    k = quiet_kernel
+    attach_hpcsched(k)
+    for i in range(4):
+        hpc_task(k, f"t{i}", i)
+    assert spread_hpc_tasks(k) == 0
+
+
+def test_two_stacked_tasks_spread_to_distinct_cores(quiet_kernel):
+    """Two tasks stacked on one context spread out — preferring the
+    idle core over the busy one's SMT sibling (no resource sharing)."""
+    k = quiet_kernel
+    attach_hpcsched(k)
+    hpc_task(k, "a", 0)
+    hpc_task(k, "b", 0)
+    spread_hpc_tasks(k)
+    dist = hpc_task_distribution(k)
+    assert sorted(dist.values()) == [0, 0, 1, 1]
+    core0 = dist[0] + dist[1]
+    core1 = dist[2] + dist[3]
+    assert core0 == core1 == 1
+
+
+def test_within_core_spread_when_both_cores_busy(quiet_kernel):
+    """With each core already owning a task, a second task stacked on
+    cpu0 moves to the free sibling context."""
+    k = quiet_kernel
+    attach_hpcsched(k)
+    hpc_task(k, "a", 0)
+    hpc_task(k, "b", 0)
+    hpc_task(k, "c", 2)
+    hpc_task(k, "d", 3)
+    spread_hpc_tasks(k)
+    dist = hpc_task_distribution(k)
+    assert dist == {0: 1, 1: 1, 2: 1, 3: 1}
+
+
+def test_running_tasks_are_not_migrated(quiet_kernel):
+    k = quiet_kernel
+    attach_hpcsched(k)
+    a = hpc_task(k, "a", 0)
+    k.sim.run(until=0.001)  # a now RUNNING on cpu0
+    b = hpc_task(k, "b", 0)  # queued behind it
+    spread_hpc_tasks(k)
+    assert a.cpu == 0  # the running task stayed
+    assert b.cpu != 0  # the queued one moved
+
+
+def test_respects_max_moves(quiet_kernel):
+    k = quiet_kernel
+    attach_hpcsched(k)
+    for i in range(6):
+        hpc_task(k, f"t{i}", 0)
+    moves = spread_hpc_tasks(k, max_moves=1)
+    assert moves == 1

@@ -1,0 +1,52 @@
+"""Priority-mechanism tests (the architecture-dependent layer)."""
+
+import pytest
+
+from repro.hpcsched.mechanism import NullMechanism, POWER5Mechanism
+from repro.kernel import Kernel
+from repro.power5.priorities import PriorityError
+from tests.conftest import pure_compute_program
+
+
+def test_power5_mechanism_sets_priority(quiet_kernel):
+    k = quiet_kernel
+    t = k.create_task("t", pure_compute_program(0.1))
+    mech = POWER5Mechanism()
+    mech.apply(k, t, 6)
+    assert mech.read(t) == 6
+    assert t.hw_priority == 6
+
+
+def test_power5_mechanism_supervisor_range(quiet_kernel):
+    k = quiet_kernel
+    t = k.create_task("t", pure_compute_program(0.1))
+    mech = POWER5Mechanism()
+    for p in (1, 2, 3, 4, 5, 6):
+        mech.apply(k, t, p)
+    for p in (0, 7):
+        with pytest.raises(PriorityError):
+            mech.apply(k, t, p)
+
+
+def test_power5_mechanism_affects_running_context(quiet_kernel):
+    k = quiet_kernel
+    t = k.spawn("t", pure_compute_program(1.0), cpu=0)
+    k.sim.run(until=0.01)
+    POWER5Mechanism().apply(k, t, 6)
+    assert k.machine.context(0).priority == 6
+
+
+def test_null_mechanism_records_without_effect(quiet_kernel):
+    k = quiet_kernel
+    t = k.spawn("t", pure_compute_program(1.0), cpu=0)
+    k.sim.run(until=0.01)
+    mech = NullMechanism()
+    assert not mech.effective
+    mech.apply(k, t, 6)
+    assert t.hw_priority == 6
+    # the hardware context was NOT touched
+    assert int(k.machine.context(0).priority) == 4
+
+
+def test_power5_mechanism_is_effective():
+    assert POWER5Mechanism().effective

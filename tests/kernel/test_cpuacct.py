@@ -1,0 +1,67 @@
+"""Per-class CPU accounting tests."""
+
+import pytest
+
+from repro.hpcsched import attach_hpcsched
+from repro.kernel.cpuacct import class_cpu_share, class_cpu_time, task_cpu_time
+from repro.kernel.policies import SchedPolicy
+from tests.conftest import pure_compute_program
+
+
+def test_class_cpu_time_groups_by_policy(quiet_kernel):
+    k = quiet_kernel
+    attach_hpcsched(k)
+    k.spawn("hpc_task", pure_compute_program(0.2), cpu=0,
+            policy=SchedPolicy.HPC)
+    k.spawn("normal_task", pure_compute_program(0.1), cpu=2)
+    k.spawn("rt_task", pure_compute_program(0.05), cpu=3,
+            policy=SchedPolicy.FIFO, rt_priority=10)
+    k.run()
+    times = class_cpu_time(k)
+    assert times["hpc"] > times["fair"] > times["rt"] > 0
+    assert times["idle"] == 0.0
+
+
+def test_class_cpu_share_sums_to_one(quiet_kernel):
+    k = quiet_kernel
+    k.spawn("a", pure_compute_program(0.1), cpu=0)
+    k.spawn("b", pure_compute_program(0.1), cpu=2)
+    k.run()
+    shares = class_cpu_share(k)
+    assert sum(shares.values()) == pytest.approx(1.0)
+    assert shares["fair"] == pytest.approx(1.0)
+
+
+def test_class_cpu_share_empty_kernel(quiet_kernel):
+    shares = class_cpu_share(quiet_kernel)
+    assert all(v == 0.0 for v in shares.values())
+
+
+def test_task_cpu_time(quiet_kernel):
+    k = quiet_kernel
+    t = k.spawn("worker", pure_compute_program(0.21), cpu=0)
+    end = k.run()
+    per_task = task_cpu_time(k)
+    assert per_task["worker"] == pytest.approx(end, rel=1e-9)
+
+
+def test_hpc_starves_daemons_quantified(quiet_kernel):
+    """The extrinsic-shield claim, in cpuacct terms: with an HPC hog
+    and a CFS daemon sharing a CPU, the daemon's share collapses while
+    the HPC task is runnable."""
+    from repro.kernel.syscalls import Compute, Sleep
+
+    k = quiet_kernel
+    attach_hpcsched(k)
+
+    def daemon():
+        while True:
+            yield Compute(0.005)
+            yield Sleep(0.005)
+
+    k.spawn("daemon", daemon(), cpu=0, cpus_allowed=[0], daemon=True)
+    k.spawn("hog", pure_compute_program(0.5), cpu=0,
+            policy=SchedPolicy.HPC, cpus_allowed=[0])
+    k.run()
+    times = class_cpu_time(k)
+    assert times["fair"] < 0.05 * times["hpc"]

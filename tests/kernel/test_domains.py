@@ -1,0 +1,48 @@
+"""Scheduling-domain hierarchy tests."""
+
+import pytest
+
+from repro.kernel.domains import LEVELS, Domain, DomainHierarchy
+from repro.power5.machine import Machine, MachineTopology
+
+
+@pytest.fixture
+def hier():
+    return DomainHierarchy(Machine())
+
+
+def test_levels_order():
+    assert LEVELS == ("context", "core", "chip")
+
+
+def test_for_cpu_innermost_first(hier):
+    doms = hier.for_cpu(0)
+    assert [d.level for d in doms] == ["context", "core", "chip"]
+    assert doms[0].cpus == (0, 1)
+    assert doms[1].cpus == (0, 1, 2, 3)
+
+
+def test_peers(hier):
+    assert hier.peers(0, "context") == (0, 1)
+    assert hier.peers(2, "context") == (2, 3)
+    assert hier.peers(0, "core") == (0, 1, 2, 3)
+    assert hier.peers(0, "bogus") == (0,)
+
+
+def test_distance_metric(hier):
+    assert hier.distance(0, 0) == -1
+    assert hier.distance(0, 1) == 0  # same core (SMT siblings)
+    assert hier.distance(0, 2) == 1  # same chip, different core
+    assert hier.distance(1, 3) == 1
+
+
+def test_distance_multi_chip():
+    h = DomainHierarchy(Machine(MachineTopology(chips=2)))
+    assert h.distance(0, 1) == 0
+    assert h.distance(0, 2) == 1
+    assert h.distance(0, 4) == 2  # different chip
+
+
+def test_domain_contains():
+    d = Domain("context", (0, 1))
+    assert 0 in d and 1 in d and 2 not in d

@@ -1,0 +1,37 @@
+"""Wakeup-latency accounting tests."""
+
+import pytest
+
+from repro.kernel.latency import LatencyAccumulator, LatencyStats
+from repro.kernel.task import Task
+
+
+def test_accumulator_streaming():
+    acc = LatencyAccumulator()
+    assert acc.mean == 0.0
+    for v in (1.0, 2.0, 3.0):
+        acc.add(v)
+    assert acc.count == 3
+    assert acc.total == 6.0
+    assert acc.mean == 2.0
+    assert acc.max == 3.0
+
+
+def test_stats_per_task_and_overall():
+    stats = LatencyStats()
+    t1 = Task(pid=1, name="a")
+    t2 = Task(pid=2, name="b")
+    stats.record(t1, 0.001)
+    stats.record(t1, 0.003)
+    stats.record(t2, 0.010)
+    assert stats.for_task(1).count == 2
+    assert stats.for_task(1).max == 0.003
+    assert stats.for_task(2).mean == 0.010
+    assert stats.overall.count == 3
+    assert stats.overall.max == 0.010
+
+
+def test_unknown_task_returns_empty():
+    stats = LatencyStats()
+    acc = stats.for_task(42)
+    assert acc.count == 0 and acc.mean == 0.0

@@ -1,0 +1,85 @@
+"""Load-balancer tests: CPU selection, idle pull, periodic balance."""
+
+import pytest
+
+from repro.kernel import Compute, Kernel, Sleep
+from repro.kernel.policies import TaskState
+from tests.conftest import pure_compute_program
+
+
+def test_select_cpu_prefers_idle_prev(quiet_kernel):
+    k = quiet_kernel
+    t = k.create_task("t", pure_compute_program(0.1))
+    t.cpu = 2
+    assert k.balancer.select_cpu(t, prefer=2) == 2
+
+
+def test_select_cpu_least_loaded(quiet_kernel):
+    k = quiet_kernel
+    k.spawn("a", pure_compute_program(1.0), cpu=0)
+    k.spawn("b", pure_compute_program(1.0), cpu=1)
+    t = k.create_task("t", pure_compute_program(0.1))
+    assert k.balancer.select_cpu(t) in (2, 3)
+
+
+def test_select_cpu_respects_affinity(quiet_kernel):
+    k = quiet_kernel
+    k.spawn("a", pure_compute_program(1.0), cpu=3)
+    t = k.create_task("t", pure_compute_program(0.1), cpus_allowed=[3])
+    assert k.balancer.select_cpu(t) == 3
+
+
+def test_select_cpu_empty_mask_raises(quiet_kernel):
+    k = quiet_kernel
+    t = k.create_task("t", pure_compute_program(0.1), cpus_allowed=[])
+    with pytest.raises(ValueError):
+        k.balancer.select_cpu(t)
+
+
+def test_fork_balancing_spreads_tasks(quiet_kernel):
+    """Unpinned spawns land on distinct CPUs."""
+    k = quiet_kernel
+    tasks = [k.spawn(f"t{i}", pure_compute_program(0.5)) for i in range(4)]
+    cpus = {t.cpu for t in tasks}
+    assert cpus == {0, 1, 2, 3}
+
+
+def test_idle_pull_steals_queued_task(quiet_kernel):
+    k = quiet_kernel
+    # two tasks stacked on cpu0, cpu2 idle
+    a = k.spawn("a", pure_compute_program(0.5), cpu=0)
+    b = k.spawn("b", pure_compute_program(0.5), cpu=0)
+    assert b.state == TaskState.READY
+    pulled = k.balancer.idle_pull(2)
+    assert pulled is b
+    assert b.cpu == 2
+
+
+def test_idle_pull_nothing_to_steal(quiet_kernel):
+    k = quiet_kernel
+    k.spawn("a", pure_compute_program(0.5), cpu=0)
+    assert k.balancer.idle_pull(2) is None
+
+
+def test_idle_pull_respects_affinity(quiet_kernel):
+    k = quiet_kernel
+    k.spawn("a", pure_compute_program(0.5), cpu=0, cpus_allowed=[0])
+    k.spawn("b", pure_compute_program(0.5), cpu=0, cpus_allowed=[0])
+    assert k.balancer.idle_pull(2) is None
+
+
+def test_periodic_needs_bigger_imbalance(quiet_kernel):
+    k = quiet_kernel
+    k.spawn("a", pure_compute_program(0.5), cpu=0)
+    k.spawn("b", pure_compute_program(0.5), cpu=1)
+    # diff of 1: periodic balance must not thrash
+    assert k.balancer.periodic(2) is None
+
+
+def test_overload_resolves_via_scheduling(quiet_kernel):
+    """Three unpinned hogs + one short task: everyone finishes, and the
+    balancer spreads the runnable tasks across CPUs."""
+    k = quiet_kernel
+    tasks = [k.spawn(f"t{i}", pure_compute_program(0.3)) for i in range(6)]
+    k.run()
+    assert all(t.state == TaskState.EXITED for t in tasks)

@@ -1,0 +1,75 @@
+"""Procfs-style introspection tests."""
+
+import pytest
+
+from repro.kernel.procfs import consistency_check, ps, sched_debug, schedstat, task_stat
+from tests.conftest import compute_sleep_program, pure_compute_program
+
+
+def test_sched_debug_lists_all_cpus(quiet_kernel):
+    k = quiet_kernel
+    k.spawn("w", pure_compute_program(0.5), cpu=0)
+    k.sim.run(until=0.01)
+    out = sched_debug(k)
+    for cpu in range(4):
+        assert f"cpu#{cpu}:" in out
+    assert "w (pid" in out
+    assert "nr_switches=" in out
+
+
+def test_task_stat_fields(quiet_kernel):
+    k = quiet_kernel
+    t = k.spawn("w", pure_compute_program(0.1), cpu=2, cpus_allowed=[2])
+    k.run()
+    st = task_stat(k, t.pid)
+    assert st["comm"] == "w"
+    assert st["state"] == "exited"
+    assert st["cpu"] == 2
+    assert st["cpus_allowed"] == [2]
+    assert st["utime"] > 0
+
+
+def test_ps_table(quiet_kernel):
+    k = quiet_kernel
+    k.spawn("alpha", pure_compute_program(0.1), cpu=0)
+    k.spawn("beta", pure_compute_program(0.1), cpu=1)
+    k.run()
+    out = ps(k)
+    assert "alpha" in out and "beta" in out
+    assert out.splitlines()[0].startswith("  PID")
+
+
+def test_schedstat_aggregates(quiet_kernel):
+    k = quiet_kernel
+    k.spawn("w", compute_sleep_program(3, 0.01, 0.01), cpu=0)
+    k.run()
+    st = schedstat(k)
+    assert st["nr_switches"] == k.context_switches
+    assert st["nr_tasks"] == 1
+    assert st["nr_runnable"] == 0
+    assert st["wakeups"] >= 3
+    assert st["events_processed"] > 0
+
+
+def test_consistency_check_healthy_during_run(quiet_kernel):
+    k = quiet_kernel
+    for i in range(6):
+        k.spawn(f"t{i}", compute_sleep_program(3, 0.02, 0.01))
+    # probe at several points mid-run
+    for horizon in (0.01, 0.05, 0.1):
+        k.sim.run(until=horizon)
+        assert consistency_check(k) == []
+    k.run()
+    assert consistency_check(k) == []
+
+
+def test_consistency_check_detects_corruption(quiet_kernel):
+    from repro.kernel.policies import TaskState
+
+    k = quiet_kernel
+    t = k.spawn("w", pure_compute_program(0.5), cpu=0)
+    k.sim.run(until=0.01)
+    t.state = TaskState.SLEEPING  # corrupt: current task marked sleeping
+    problems = consistency_check(k)
+    assert problems
+    assert any("not RUNNING" in p for p in problems)

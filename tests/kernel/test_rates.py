@@ -1,0 +1,117 @@
+"""Quantitative fluid-rate engine tests: exact arithmetic checks of
+progress banking across rate changes."""
+
+import pytest
+
+from repro.kernel import Compute, Sleep
+from repro.power5.perfmodel import CPU_BOUND, MIXED
+from tests.conftest import pure_compute_program
+
+ST = CPU_BOUND.st_speedup  # 2.1
+PLUS2 = CPU_BOUND.dprio_speed[2]  # 2.05
+MINUS2 = CPU_BOUND.dprio_speed[-2]  # 0.29
+
+
+def test_exact_completion_time_st_mode(quiet_kernel):
+    k = quiet_kernel
+    k.spawn("t", pure_compute_program(1.05), cpu=0)
+    assert k.run() == pytest.approx(1.05 / ST, rel=1e-9)
+
+
+def test_exact_rate_rebase_on_sibling_exit(quiet_kernel):
+    """Phase 1 at SMT-equal speed until the sibling finishes, phase 2
+    in ST mode: completion time is the exact two-segment integral."""
+    k = quiet_kernel
+    k.spawn("short", pure_compute_program(0.3), cpu=0)
+    k.spawn("long", pure_compute_program(1.0), cpu=1)
+    end = k.run()
+    expected = 0.3 + (1.0 - 0.3) / ST
+    assert end == pytest.approx(expected, rel=1e-9)
+
+
+def test_exact_rebase_on_priority_change_mid_phase(quiet_kernel):
+    """Boost a running task halfway through: the remaining work is
+    retimed at the new rate, exactly."""
+    k = quiet_kernel
+    a = k.spawn("a", pure_compute_program(1.0), cpu=0)
+    b = k.spawn("b", pure_compute_program(10.0), cpu=1)
+    boost_at = 0.4
+    k.sim.after(boost_at, lambda: k.set_hw_priority(a, 6))
+    k.run(until=5.0)
+    # a: 0.4 work at speed 1, then (1.0-0.4) at PLUS2
+    expected_a_end = boost_at + (1.0 - boost_at * 1.0) / PLUS2
+    assert a.sum_exec_runtime == pytest.approx(expected_a_end, rel=1e-9)
+
+
+def test_victim_slowdown_is_exact(quiet_kernel):
+    k = quiet_kernel
+    a = k.spawn("a", pure_compute_program(10.0), cpu=0)
+    b = k.spawn("b", pure_compute_program(0.29), cpu=1)
+    k.set_hw_priority(a, 6)  # b at -2 from t=0
+    end = k.run(until=2.0)
+    # b retires MINUS2 per second while a is busy; its 0.29 units take
+    # exactly 1.0s
+    assert b.state.value == "exited"
+    assert b.sum_exec_runtime == pytest.approx(0.29 / MINUS2, rel=1e-9)
+
+
+def test_three_segment_timeline(quiet_kernel):
+    """SMT-equal, then deprioritized, then ST: all three rates appear
+    in one task's phase and the end time is the exact piecewise sum."""
+    k = quiet_kernel
+    victim = k.spawn("victim", pure_compute_program(1.0), cpu=0)
+    other = k.spawn("other", pure_compute_program(0.8), cpu=1)
+    # at t=0.2 the sibling gets boosted; it finishes 0.8 work as:
+    #   0.2 at speed 1.0 -> 0.6 left at PLUS2 -> done at 0.2 + 0.6/2.05
+    k.sim.after(0.2, lambda: k.set_hw_priority(other, 6))
+    end = k.run()
+    t_other = 0.2 + (0.8 - 0.2) / PLUS2
+    # victim: speed 1 for 0.2, MINUS2 until t_other, ST afterwards
+    done_before_st = 0.2 * 1.0 + (t_other - 0.2) * MINUS2
+    t_victim = t_other + (1.0 - done_before_st) / ST
+    assert end == pytest.approx(t_victim, rel=1e-9)
+
+
+def test_profiles_apply_per_task(quiet_kernel):
+    """Two different profiles co-running: each context uses its own
+    task's curve."""
+    k = quiet_kernel
+    cpu_task = k.spawn("c", pure_compute_program(10.0), cpu=0,
+                       perf_profile=CPU_BOUND)
+    mem_task = k.spawn("m", pure_compute_program(10.0), cpu=1,
+                       perf_profile=MIXED)
+    k.set_hw_priority(cpu_task, 6)
+    k.run(until=1.0)
+    k.pmu.finalize(k.now)
+    rate_c = k.pmu.context_counters(0).work_done
+    rate_m = k.pmu.context_counters(1).work_done
+    assert rate_c == pytest.approx(CPU_BOUND.dprio_speed[2], rel=1e-6)
+    assert rate_m == pytest.approx(MIXED.dprio_speed[-2], rel=1e-6)
+
+
+def test_sleep_then_resume_keeps_remaining_work(quiet_kernel):
+    """A task preempted mid-phase resumes with exactly the remaining
+    work (no loss, no duplication)."""
+    k = quiet_kernel
+    from repro.kernel.policies import SchedPolicy
+
+    hog = k.spawn("hog", pure_compute_program(0.13), cpu=0, cpus_allowed=[0])
+    # an RT task interrupts for a fixed window
+    def rt_prog():
+        yield Compute(0.05)
+
+    k.sim.after(
+        0.02,
+        lambda: k.start_task(
+            k.create_task("rt", rt_prog(), policy=SchedPolicy.FIFO,
+                          rt_priority=10, cpus_allowed=[0]),
+            cpu=0,
+        ),
+    )
+    end = k.run()
+    # total work on cpu0 = 0.13 + 0.05, all in ST mode, plus two context
+    # switches' costs (charged as wall time, not work)
+    cs = k.tunables.get("kernel/context_switch_cost")
+    expected = (0.13 + 0.05) / ST
+    assert end == pytest.approx(expected, rel=1e-3)
+    assert hog.sum_exec_runtime + 0.05 / ST == pytest.approx(end, rel=1e-3)

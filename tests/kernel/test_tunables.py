@@ -1,0 +1,73 @@
+"""Tunable registry tests."""
+
+import pytest
+
+from repro.kernel.tunables import Tunables, TunableError
+
+
+@pytest.fixture
+def tun():
+    return Tunables()
+
+
+def test_defaults_match_paper(tun):
+    assert tun.get("hpcsched/high_util") == 85.0
+    assert tun.get("hpcsched/low_util") == 65.0
+    assert tun.get("hpcsched/min_prio") == 4
+    assert tun.get("hpcsched/max_prio") == 6
+    assert tun.get("hpcsched/adaptive_g") == pytest.approx(0.10)
+    assert tun.get("hpcsched/adaptive_l") == pytest.approx(0.90)
+
+
+def test_kernel_defaults_are_2624_era(tun):
+    assert tun.get("kernel/sched_latency") == pytest.approx(0.020)
+    assert tun.get("kernel/tick_period") == pytest.approx(0.001)
+
+
+def test_set_and_get_roundtrip(tun):
+    tun.set("hpcsched/high_util", 90.0)
+    assert tun.get("hpcsched/high_util") == 90.0
+
+
+def test_int_promoted_to_float(tun):
+    tun.set("hpcsched/high_util", 80)
+    assert tun.get("hpcsched/high_util") == 80.0
+
+
+def test_unknown_path_rejected(tun):
+    with pytest.raises(TunableError):
+        tun.get("kernel/nope")
+    with pytest.raises(TunableError):
+        tun.set("kernel/nope", 1)
+
+
+def test_type_mismatch_rejected(tun):
+    with pytest.raises(TunableError):
+        tun.set("hpcsched/min_prio", "six")
+
+
+def test_range_validation(tun):
+    with pytest.raises(TunableError):
+        tun.set("hpcsched/min_prio", 9)
+    with pytest.raises(TunableError):
+        tun.set("hpcsched/high_util", 150.0)
+    with pytest.raises(TunableError):
+        tun.set("kernel/tick_period", -0.1)
+
+
+def test_enum_like_validation(tun):
+    tun.set("hpcsched/policy_mode", "fifo")
+    with pytest.raises(TunableError):
+        tun.set("hpcsched/policy_mode", "lifo")
+
+
+def test_register_custom(tun):
+    tun.register("custom/x", 3, doc="a custom knob")
+    assert tun.get("custom/x") == 3
+    assert tun.describe("custom/x") == "a custom knob"
+
+
+def test_paths_sorted(tun):
+    paths = tun.paths()
+    assert paths == sorted(paths)
+    assert "hpcsched/high_util" in paths

@@ -1,0 +1,131 @@
+"""Extended MPI API tests: wait, sendrecv, iprobe, extra collectives."""
+
+import pytest
+
+from repro.mpi.comm import ANY_SOURCE, ANY_TAG
+from repro.mpi.process import MPIRank
+from repro.mpi.runtime import MPIRuntime
+
+from tests.mpi.test_collectives import launch
+
+
+def test_wait_single_handle(quiet_kernel):
+    got = []
+
+    def sender(mpi):
+        def prog():
+            yield mpi.compute(0.02)
+            mpi.isend(1, tag=0)
+            yield mpi.compute(0.001)
+
+        return prog()
+
+    def receiver(mpi):
+        def prog():
+            h = mpi.irecv(0, tag=0)
+            yield mpi.wait(h)
+            got.append(h.complete)
+
+        return prog()
+
+    launch(quiet_kernel, [sender, receiver], cpus=[0, 2])
+    quiet_kernel.run()
+    assert got == [True]
+
+
+def test_sendrecv_exchange_is_deadlock_free(quiet_kernel):
+    """Both ranks sendrecv each other simultaneously — the classic
+    pattern that deadlocks with naive blocking sends."""
+    done = []
+
+    def make(rank, peer):
+        def factory(mpi):
+            def prog():
+                yield mpi.compute(0.01 * (rank + 1))
+                yield mpi.sendrecv(peer, source=peer)
+                done.append(rank)
+
+            return prog()
+
+        return factory
+
+    launch(quiet_kernel, [make(0, 1), make(1, 0)], cpus=[0, 2])
+    end = quiet_kernel.run()
+    assert sorted(done) == [0, 1]
+    assert end < 0.1
+
+
+def test_iprobe_nonconsuming(quiet_kernel):
+    observations = []
+
+    def sender(mpi):
+        def prog():
+            mpi.isend(1, tag=9)
+            yield mpi.compute(0.001)
+
+        return prog()
+
+    def receiver(mpi):
+        def prog():
+            yield mpi.compute(0.05)  # let the message land
+            observations.append(mpi.iprobe(0, 9))
+            observations.append(mpi.iprobe(0, 9))  # still there
+            observations.append(mpi.iprobe(0, 99))  # wrong tag
+            yield mpi.recv(0, tag=9)
+            observations.append(mpi.iprobe(0, 9))  # consumed
+
+        return prog()
+
+    launch(quiet_kernel, [sender, receiver], cpus=[0, 2])
+    quiet_kernel.run()
+    assert observations == [True, True, False, False]
+
+
+@pytest.mark.parametrize("kind", ["gather", "scatter", "alltoall"])
+def test_extra_collectives_synchronize(quiet_kernel, kind):
+    times = []
+
+    def make(rank, work):
+        def factory(mpi):
+            def prog():
+                yield mpi.compute(work)
+                yield getattr(mpi, kind)()
+                times.append(quiet_kernel.now)
+
+            return prog()
+
+        return factory
+
+    launch(quiet_kernel, [make(0, 0.001), make(1, 0.03)], cpus=[0, 2])
+    quiet_kernel.run()
+    assert len(times) == 2
+    assert abs(times[0] - times[1]) < 1e-9
+
+
+def test_collectives_of_different_kinds_do_not_interfere(quiet_kernel):
+    """A barrier and a gather in flight concurrently keep separate
+    arrival counters."""
+    order = []
+
+    def a(mpi):
+        def prog():
+            yield mpi.barrier()
+            order.append("a-barrier")
+            yield mpi.gather()
+            order.append("a-gather")
+
+        return prog()
+
+    def b(mpi):
+        def prog():
+            yield mpi.barrier()
+            order.append("b-barrier")
+            yield mpi.gather()
+            order.append("b-gather")
+
+        return prog()
+
+    launch(quiet_kernel, [a, b], cpus=[0, 2])
+    quiet_kernel.run()
+    assert set(order[:2]) == {"a-barrier", "b-barrier"}
+    assert set(order[2:]) == {"a-gather", "b-gather"}

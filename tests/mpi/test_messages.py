@@ -1,0 +1,55 @@
+"""Message and latency-model unit tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mpi.comm import ANY_SOURCE, ANY_TAG, Communicator
+from repro.mpi.messages import LatencyModel, Message
+
+
+def test_latency_base_plus_bandwidth():
+    lm = LatencyModel(base=1e-6, bandwidth=1e9)
+    assert lm.delay(0) == pytest.approx(1e-6)
+    assert lm.delay(1_000_000) == pytest.approx(1e-6 + 1e-3)
+
+
+def test_default_latency_is_microseconds():
+    lm = LatencyModel()
+    assert 1e-6 < lm.delay(0) < 1e-4
+
+
+@given(st.integers(0, 10**9))
+def test_property_latency_monotone_in_size(size):
+    lm = LatencyModel()
+    assert lm.delay(size) >= lm.delay(0)
+
+
+def test_message_matching_exact():
+    m = Message(src=1, dst=2, tag=7, size=0, send_time=0, arrival_time=1)
+    assert m.matches(1, 7)
+    assert not m.matches(0, 7)
+    assert not m.matches(1, 8)
+
+
+def test_message_matching_wildcards():
+    m = Message(src=1, dst=2, tag=7, size=0, send_time=0, arrival_time=1)
+    assert m.matches(ANY_SOURCE, 7)
+    assert m.matches(1, ANY_TAG)
+    assert m.matches(ANY_SOURCE, ANY_TAG)
+
+
+def test_communicator_basics():
+    c = Communicator([0, 1, 2])
+    assert c.size == 3
+    assert 1 in c and 5 not in c
+
+
+def test_communicator_rejects_duplicates():
+    with pytest.raises(ValueError):
+        Communicator([0, 1, 1])
+
+
+def test_communicator_unique_ids():
+    a = Communicator([0, 1])
+    b = Communicator([0, 1])
+    assert a.cid != b.cid

@@ -1,0 +1,133 @@
+"""Tests of the Table I decode-slot arithmetic and special levels."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.power5.decode import (
+    BACKGROUND_SHARE,
+    DECODE_TABLE,
+    decode_cycles,
+    decode_shares,
+    decode_window,
+)
+from repro.power5.priorities import PriorityError
+
+
+# Paper Table I, verbatim.
+PAPER_TABLE1 = {
+    0: (2, 1, 1),
+    1: (4, 3, 1),
+    2: (8, 7, 1),
+    3: (16, 15, 1),
+    4: (32, 31, 1),
+    5: (64, 63, 1),
+}
+
+
+def test_decode_table_matches_paper():
+    assert DECODE_TABLE == PAPER_TABLE1
+
+
+@pytest.mark.parametrize("diff,expected", sorted(PAPER_TABLE1.items()))
+def test_window_formula(diff, expected):
+    r, _, _ = expected
+    # pick representative normal priorities with this difference
+    lo = 2
+    hi = lo + diff
+    if hi <= 6:
+        assert decode_window(hi, lo) == r
+        assert decode_window(lo, hi) == r
+
+
+def test_paper_example_priorities_6_and_2():
+    """Paper §II-B: priorities 6 vs 2 -> fetch 31 times vs once."""
+    assert decode_cycles(6, 2) == (31, 1)
+    assert decode_cycles(2, 6) == (1, 31)
+
+
+def test_equal_priorities_split_evenly():
+    for p in range(2, 7):
+        assert decode_cycles(p, p) == (1, 1)
+        assert decode_shares(p, p) == (0.5, 0.5)
+
+
+def test_cycles_sum_to_window():
+    for a in range(2, 7):
+        for b in range(2, 7):
+            ca, cb = decode_cycles(a, b)
+            if a == b:
+                assert ca + cb == 2
+            else:
+                assert ca + cb == decode_window(a, b)
+
+
+def test_shares_sum_to_one_normal_regime():
+    for a in range(2, 7):
+        for b in range(2, 7):
+            sa, sb = decode_shares(a, b)
+            assert sa + sb == pytest.approx(1.0)
+
+
+def test_higher_priority_gets_more():
+    for a in range(2, 7):
+        for b in range(2, 7):
+            sa, sb = decode_shares(a, b)
+            if a > b:
+                assert sa > sb
+            elif a < b:
+                assert sa < sb
+
+
+def test_thread_off_gets_nothing():
+    assert decode_shares(0, 4) == (0.0, 1.0)
+    assert decode_shares(4, 0) == (1.0, 0.0)
+    assert decode_shares(0, 0) == (0.0, 0.0)
+
+
+def test_very_high_dominates():
+    assert decode_shares(7, 4) == (1.0, 0.0)
+    assert decode_shares(4, 7) == (0.0, 1.0)
+    assert decode_shares(7, 7) == (0.5, 0.5)
+
+
+def test_background_thread_scavenges():
+    sa, sb = decode_shares(1, 4)
+    assert sa == pytest.approx(BACKGROUND_SHARE)
+    assert sb == pytest.approx(1.0 - BACKGROUND_SHARE)
+    assert decode_shares(1, 1) == (0.5, 0.5)
+
+
+def test_window_rejects_special_levels():
+    for special in (0, 1, 7):
+        with pytest.raises(PriorityError):
+            decode_window(special, 4)
+        with pytest.raises(PriorityError):
+            decode_window(4, special)
+
+
+def test_invalid_priority_raises():
+    with pytest.raises(PriorityError):
+        decode_shares(8, 4)
+
+
+@given(st.integers(0, 7), st.integers(0, 7))
+def test_property_shares_are_valid_fractions(a, b):
+    sa, sb = decode_shares(a, b)
+    assert 0.0 <= sa <= 1.0
+    assert 0.0 <= sb <= 1.0
+    assert sa + sb <= 1.0 + 1e-12
+
+
+@given(st.integers(2, 6), st.integers(2, 6))
+def test_property_share_symmetry(a, b):
+    sa, sb = decode_shares(a, b)
+    sb2, sa2 = decode_shares(b, a)
+    assert sa == pytest.approx(sa2)
+    assert sb == pytest.approx(sb2)
+
+
+@given(st.integers(2, 6), st.integers(2, 6))
+def test_property_window_is_power_of_two(a, b):
+    r = decode_window(a, b)
+    assert r & (r - 1) == 0  # power of two
+    assert r == 2 ** (abs(a - b) + 1)

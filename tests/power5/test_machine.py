@@ -1,0 +1,59 @@
+"""Machine topology and scheduling-domain tests."""
+
+import pytest
+
+from repro.power5.machine import Machine, MachineTopology
+
+
+def test_default_is_papers_openpower710():
+    m = Machine()
+    assert m.topology.chips == 1
+    assert m.topology.cores_per_chip == 2
+    assert m.topology.threads_per_core == 2
+    assert m.n_cpus == 4
+    assert list(m.cpu_ids) == [0, 1, 2, 3]
+
+
+def test_context_lookup_and_sibling():
+    m = Machine()
+    assert m.context(0).cpu_id == 0
+    assert m.sibling_cpu(0) == 1
+    assert m.sibling_cpu(1) == 0
+    assert m.sibling_cpu(2) == 3
+    assert m.sibling_cpu(3) == 2
+
+
+def test_core_of_groups_cpu_pairs():
+    m = Machine()
+    assert m.core_of(0) is m.core_of(1)
+    assert m.core_of(2) is m.core_of(3)
+    assert m.core_of(0) is not m.core_of(2)
+
+
+def test_domains_three_levels():
+    m = Machine()
+    doms = m.domains()
+    assert doms["context"] == [[0, 1], [2, 3]]
+    assert doms["core"] == [[0, 1, 2, 3]]
+    assert doms["chip"] == [[0, 1, 2, 3]]
+
+
+def test_multi_chip_topology():
+    m = Machine(MachineTopology(chips=2))
+    assert m.n_cpus == 8
+    doms = m.domains()
+    assert doms["context"] == [[0, 1], [2, 3], [4, 5], [6, 7]]
+    assert doms["core"] == [[0, 1, 2, 3], [4, 5, 6, 7]]
+    assert doms["chip"] == [[0, 1, 2, 3, 4, 5, 6, 7]]
+
+
+def test_unique_cpu_ids_across_chips():
+    m = Machine(MachineTopology(chips=3))
+    assert len(set(m.cpu_ids)) == m.n_cpus == 12
+
+
+def test_cores_enumeration():
+    m = Machine(MachineTopology(chips=2))
+    cores = m.cores()
+    assert len(cores) == 4
+    assert [c.core_id for c in cores] == [0, 1, 2, 3]

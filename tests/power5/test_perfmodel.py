@@ -1,0 +1,144 @@
+"""Performance-model tests: calibration constraints and invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.power5.perfmodel import (
+    CPU_BOUND,
+    MEM_BOUND,
+    MIXED,
+    DecodeShareModel,
+    PerfProfile,
+    TableDrivenModel,
+)
+
+PROFILES = [CPU_BOUND, MIXED, MEM_BOUND]
+MODELS = [TableDrivenModel(), DecodeShareModel()]
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+@pytest.mark.parametrize("model", MODELS)
+def test_equal_priorities_give_baseline_speed(model, profile):
+    assert model.speed(profile, 4, 4, True) == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+@pytest.mark.parametrize("model", MODELS)
+def test_idle_sibling_gives_st_speed(model, profile):
+    assert model.speed(profile, 4, 4, False) == pytest.approx(profile.st_speedup)
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+def test_table_monotonic_in_priority_difference(profile):
+    model = TableDrivenModel()
+    speeds = [model.speed(profile, p, 4, True) for p in range(2, 7)]
+    assert speeds == sorted(speeds)
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+def test_boost_helps_and_deprioritization_hurts(profile):
+    model = TableDrivenModel()
+    assert model.speed(profile, 6, 4, True) > 1.0
+    assert model.speed(profile, 4, 6, True) < 1.0
+
+
+def test_cpu_bound_asymmetry_order_of_magnitude():
+    """Paper §I conclusion 1: reducing one task's execution time by X%
+    can increase the sibling's by much more than X%."""
+    model = TableDrivenModel()
+    winner_time_reduction = 1.0 - 1.0 / model.speed(CPU_BOUND, 6, 4, True)
+    loser_time_increase = 1.0 / model.speed(CPU_BOUND, 4, 6, True) - 1.0
+    assert loser_time_increase > 2.0 * winner_time_reduction
+    assert model.speed(CPU_BOUND, 4, 6, True) < 0.35
+
+
+def test_plus_two_reaches_95_percent_of_max():
+    """Paper §I conclusion 2: priority difference 2 yields ~95% of the
+    maximum performance improvement."""
+    model = TableDrivenModel()
+    max_gain = CPU_BOUND.st_speedup - 1.0
+    plus2_gain = model.speed(CPU_BOUND, 6, 4, True) - 1.0
+    assert plus2_gain / max_gain >= 0.90
+
+
+def test_metbench_static_balance_identity():
+    """The Table III back-solve: balancing MetBench's big/small work
+    ratio at +-2 requires speed(+2)/speed(-2) ~ big/small (see the
+    MetBench workload's calibrated loads)."""
+    from repro.workloads.metbench import DEFAULT_BIG_LOAD, DEFAULT_SMALL_LOAD
+
+    model = TableDrivenModel()
+    ratio = model.speed(CPU_BOUND, 6, 4, True) / model.speed(CPU_BOUND, 4, 6, True)
+    assert ratio == pytest.approx(DEFAULT_BIG_LOAD / DEFAULT_SMALL_LOAD, rel=0.05)
+
+
+def test_mem_bound_priorities_nearly_ineffective():
+    model = TableDrivenModel()
+    assert model.speed(MEM_BOUND, 6, 4, True) < 1.05
+    assert model.speed(MEM_BOUND, 4, 6, True) > 0.95
+
+
+def test_thread_off_semantics():
+    model = TableDrivenModel()
+    assert model.speed(CPU_BOUND, 0, 4, True) == 0.0
+    assert model.speed(CPU_BOUND, 4, 0, True) == CPU_BOUND.st_speedup
+
+
+def test_very_high_runs_at_st_speed():
+    model = TableDrivenModel()
+    assert model.speed(CPU_BOUND, 7, 4, True) == CPU_BOUND.st_speedup
+
+
+def test_table_speed_clamps_to_edges():
+    assert CPU_BOUND.table_speed(10) == CPU_BOUND.dprio_speed[4]
+    assert CPU_BOUND.table_speed(-10) == CPU_BOUND.dprio_speed[-4]
+
+
+def test_empty_table_profile_defaults_to_one():
+    p = PerfProfile(name="flat", st_speedup=1.5, decode_fraction=0.5)
+    assert p.table_speed(3) == 1.0
+
+
+# ----------------------------------------------------------------------
+# DecodeShareModel (analytic) specifics
+# ----------------------------------------------------------------------
+def test_decode_share_model_pure_decode_bound_doubles_at_full_share():
+    p = PerfProfile(name="dec", st_speedup=2.0, decode_fraction=1.0)
+    m = DecodeShareModel()
+    # +4 difference: share 31/32 -> nearly 2x
+    assert m.speed(p, 6, 2, True) == pytest.approx(
+        1.0 / (0.5 / (31 / 32)), rel=1e-6
+    )
+
+
+def test_decode_share_model_never_exceeds_st():
+    m = DecodeShareModel()
+    for profile in PROFILES:
+        for a in range(2, 7):
+            for b in range(2, 7):
+                assert m.speed(profile, a, b, True) <= profile.st_speedup + 1e-9
+
+
+def test_decode_share_model_mem_bound_insensitive():
+    p = PerfProfile(name="mem", st_speedup=1.1, decode_fraction=0.0)
+    m = DecodeShareModel()
+    assert m.speed(p, 6, 4, True) == pytest.approx(1.0)
+    assert m.speed(p, 4, 6, True) == pytest.approx(1.0)
+
+
+@given(st.integers(2, 6), st.integers(2, 6))
+def test_property_decode_share_model_monotone(a, b):
+    m = DecodeShareModel()
+    if a < 6:
+        assert m.speed(MIXED, a + 1, b, True) >= m.speed(MIXED, a, b, True) - 1e-12
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(2, 6),
+    st.integers(2, 6),
+)
+def test_property_decode_share_speed_positive(frac, a, b):
+    p = PerfProfile(name="x", st_speedup=2.0, decode_fraction=frac)
+    m = DecodeShareModel()
+    assert m.speed(p, a, b, True) > 0.0

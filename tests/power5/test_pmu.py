@@ -1,0 +1,81 @@
+"""PMU counter tests."""
+
+import pytest
+
+from repro.kernel import Compute, Sleep
+from repro.power5.decode import decode_shares
+from repro.power5.perfmodel import CPU_BOUND
+from tests.conftest import pure_compute_program
+
+
+def test_single_task_counters(quiet_kernel):
+    k = quiet_kernel
+    k.spawn("t", pure_compute_program(1.0), cpu=0)
+    end = k.run()
+    c = k.pmu.context_counters(0)
+    assert c.busy_time == pytest.approx(end, rel=1e-6)
+    assert c.st_time == pytest.approx(end, rel=1e-6)  # sibling idle
+    assert c.avg_decode_share == pytest.approx(1.0)
+    assert c.work_done == pytest.approx(1.0, rel=1e-6)
+
+
+def test_corun_equal_priorities_split_decode(quiet_kernel):
+    k = quiet_kernel
+    k.spawn("a", pure_compute_program(1.0), cpu=0)
+    k.spawn("b", pure_compute_program(1.0), cpu=1)
+    k.run()
+    ca = k.pmu.context_counters(0)
+    cb = k.pmu.context_counters(1)
+    assert ca.avg_decode_share == pytest.approx(0.5, abs=1e-6)
+    assert cb.avg_decode_share == pytest.approx(0.5, abs=1e-6)
+    assert ca.smt_time > 0
+
+
+def test_priority_difference_measured_by_pmu(quiet_kernel):
+    k = quiet_kernel
+    a = k.spawn("a", pure_compute_program(2.0), cpu=0)
+    b = k.spawn("b", pure_compute_program(2.0), cpu=1)
+    k.set_hw_priority(a, 6)  # +2 over b
+    k.run(until=0.5)
+    k.pmu.finalize(k.now)
+    ca = k.pmu.context_counters(0)
+    expect_a, _ = decode_shares(6, 4)
+    assert ca.avg_decode_share == pytest.approx(expect_a, abs=1e-6)
+
+
+def test_work_done_tracks_speed(quiet_kernel):
+    k = quiet_kernel
+    a = k.spawn("a", pure_compute_program(10.0), cpu=0)
+    b = k.spawn("b", pure_compute_program(10.0), cpu=1)
+    k.set_hw_priority(a, 6)
+    end = k.run(until=1.0)
+    k.pmu.finalize(end)
+    ca = k.pmu.context_counters(0)
+    cb = k.pmu.context_counters(1)
+    assert ca.work_done / cb.work_done == pytest.approx(
+        CPU_BOUND.dprio_speed[2] / CPU_BOUND.dprio_speed[-2], rel=1e-3
+    )
+
+
+def test_st_time_accrues_when_sibling_sleeps(quiet_kernel):
+    k = quiet_kernel
+
+    def napper():
+        yield Compute(0.2)
+        yield Sleep(1.0)
+
+    k.spawn("n", napper(), cpu=0)
+    k.spawn("hog", pure_compute_program(2.0), cpu=1)
+    end = k.run()
+    hog = k.pmu.context_counters(1)
+    assert hog.st_time > 0
+    assert hog.smt_time > 0
+    assert hog.busy_time == pytest.approx(hog.st_time + hog.smt_time)
+
+
+def test_idle_context_counts_nothing(quiet_kernel):
+    k = quiet_kernel
+    k.spawn("t", pure_compute_program(0.5), cpu=0)
+    k.run()
+    assert k.pmu.context_counters(2).busy_time == 0.0
+    assert k.pmu.context_counters(3).work_done == 0.0

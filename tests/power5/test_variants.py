@@ -1,0 +1,67 @@
+"""POWER6 / CELL mechanism-variant tests."""
+
+import pytest
+
+from repro.power5.perfmodel import CPU_BOUND, DecodeShareModel
+from repro.power5.priorities import PriorityError
+from repro.power5.variants import (
+    ARCHITECTURES,
+    CELL_SPE_ARCH,
+    POWER5_ARCH,
+    POWER6_ARCH,
+)
+
+
+def test_registry():
+    assert set(ARCHITECTURES) == {"power5", "power6", "cell-spe"}
+
+
+def test_power5_arch_matches_native_decode():
+    from repro.power5.decode import decode_shares
+
+    for a in range(2, 7):
+        for b in range(2, 7):
+            assert POWER5_ARCH.shares(a, b) == decode_shares(a, b)
+
+
+def test_power6_same_family_as_power5():
+    assert POWER6_ARCH.n_levels == 8
+    assert POWER6_ARCH.shares(6, 2) == POWER5_ARCH.shares(6, 2)
+
+
+def test_cell_three_levels():
+    assert CELL_SPE_ARCH.n_levels == 3
+    with pytest.raises(PriorityError):
+        CELL_SPE_ARCH.shares(3, 1)
+
+
+def test_cell_shares_monotonic_and_normalized():
+    for a in range(3):
+        for b in range(3):
+            sa, sb = CELL_SPE_ARCH.shares(a, b)
+            assert sa + sb == pytest.approx(1.0)
+            if a > b:
+                assert sa > sb
+    assert CELL_SPE_ARCH.shares(1, 1) == (0.5, 0.5)
+
+
+def test_cell_span_is_coarser_than_power5():
+    """3 levels give at most a 16:1 split; POWER5's ±4 gives 31:1."""
+    cell_hi, _ = CELL_SPE_ARCH.shares(2, 0)
+    p5_hi, _ = POWER5_ARCH.shares(6, 2)
+    assert cell_hi < p5_hi
+
+
+def test_decode_share_model_accepts_architecture():
+    model = DecodeShareModel(architecture=CELL_SPE_ARCH)
+    base = model.speed(CPU_BOUND, 1, 1, True)
+    fast = model.speed(CPU_BOUND, 2, 0, True)
+    slow = model.speed(CPU_BOUND, 0, 2, True)
+    assert base == pytest.approx(1.0)
+    assert fast > base > slow
+
+
+def test_validate_range():
+    with pytest.raises(PriorityError):
+        POWER5_ARCH.validate(8)
+    assert POWER5_ARCH.validate(4) == 4

@@ -1,0 +1,129 @@
+"""Unit tests for the simulation engine."""
+
+import pytest
+
+from repro.simcore.engine import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_after_schedules_relative():
+    sim = Simulator()
+    fired = []
+    sim.after(1.5, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [1.5]
+    assert sim.now == 1.5
+
+
+def test_at_schedules_absolute():
+    sim = Simulator()
+    fired = []
+    sim.at(2.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [2.0]
+
+
+def test_scheduling_in_the_past_raises():
+    sim = Simulator()
+    sim.after(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(0.5, lambda: None)
+
+
+def test_negative_delay_raises():
+    with pytest.raises(SimulationError):
+        Simulator().after(-1.0, lambda: None)
+
+
+def test_run_until_stops_clock_at_horizon():
+    sim = Simulator()
+    fired = []
+    sim.after(1.0, lambda: fired.append(1))
+    sim.after(10.0, lambda: fired.append(2))
+    end = sim.run(until=5.0)
+    assert fired == [1]
+    assert end == 5.0
+    # the late event survives
+    end = sim.run()
+    assert fired == [1, 2]
+    assert end == 10.0
+
+
+def test_run_until_with_empty_queue_advances_clock():
+    sim = Simulator()
+    assert sim.run(until=3.0) == 3.0
+
+
+def test_stop_when_predicate():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.after(float(i + 1), lambda i=i: fired.append(i))
+    sim.run(stop_when=lambda: len(fired) >= 3)
+    assert fired == [0, 1, 2]
+
+
+def test_stop_requested_from_event():
+    sim = Simulator()
+    fired = []
+    sim.after(1.0, lambda: (fired.append(1), sim.stop()))
+    sim.after(2.0, lambda: fired.append(2))
+    sim.run()
+    assert fired == [1]
+
+
+def test_events_can_schedule_events():
+    sim = Simulator()
+    fired = []
+
+    def cascade(n):
+        fired.append(n)
+        if n < 5:
+            sim.after(1.0, lambda: cascade(n + 1))
+
+    sim.after(0.0, lambda: cascade(0))
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 5.0
+
+
+def test_livelock_guard():
+    sim = Simulator(max_events=100)
+
+    def loop():
+        sim.after(0.0, loop)
+
+    sim.after(0.0, loop)
+    with pytest.raises(SimulationError, match="livelock"):
+        sim.run()
+
+
+def test_step_returns_false_when_empty():
+    assert Simulator().step() is False
+
+
+def test_not_reentrant():
+    sim = Simulator()
+    err = {}
+
+    def inner():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            err["e"] = exc
+
+    sim.after(1.0, inner)
+    sim.run()
+    assert "e" in err
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.after(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 5

@@ -1,0 +1,114 @@
+"""Unit tests for the event queue."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simcore.events import EventQueue
+
+
+def test_push_pop_orders_by_time():
+    q = EventQueue()
+    fired = []
+    q.push(2.0, lambda: fired.append("b"))
+    q.push(1.0, lambda: fired.append("a"))
+    q.push(3.0, lambda: fired.append("c"))
+    while (ev := q.pop()) is not None:
+        ev.fn()
+    assert fired == ["a", "b", "c"]
+
+
+def test_priority_breaks_time_ties():
+    q = EventQueue()
+    order = []
+    q.push(1.0, lambda: order.append("low"), priority=5)
+    q.push(1.0, lambda: order.append("high"), priority=0)
+    q.push(1.0, lambda: order.append("mid"), priority=2)
+    while (ev := q.pop()) is not None:
+        ev.fn()
+    assert order == ["high", "mid", "low"]
+
+
+def test_insertion_order_breaks_full_ties():
+    q = EventQueue()
+    order = []
+    for i in range(10):
+        q.push(1.0, lambda i=i: order.append(i), priority=0)
+    while (ev := q.pop()) is not None:
+        ev.fn()
+    assert order == list(range(10))
+
+
+def test_cancelled_events_are_skipped():
+    q = EventQueue()
+    ev1 = q.push(1.0, lambda: None, label="dropme")
+    q.push(2.0, lambda: None, label="keep")
+    ev1.cancel()
+    assert not ev1.active
+    got = q.pop()
+    assert got is not None and got.label == "keep"
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    ev = q.push(1.0, lambda: None)
+    q.push(5.0, lambda: None)
+    assert q.peek_time() == 1.0
+    ev.cancel()
+    assert q.peek_time() == 5.0
+
+
+def test_peek_time_empty_returns_none():
+    assert EventQueue().peek_time() is None
+
+
+def test_pop_empty_returns_none():
+    assert EventQueue().pop() is None
+
+
+def test_len_counts_entries_including_cancelled_until_popped():
+    q = EventQueue()
+    ev = q.push(1.0, lambda: None)
+    assert len(q) == 1
+    ev.cancel()
+    assert len(q) == 1  # lazy deletion
+    assert q.pop() is None
+    assert len(q) == 0
+
+
+def test_clear():
+    q = EventQueue()
+    q.push(1.0, lambda: None)
+    q.clear()
+    assert q.pop() is None
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+def test_property_pop_order_is_sorted(times):
+    q = EventQueue()
+    for t in times:
+        q.push(t, lambda: None)
+    popped = []
+    while (ev := q.pop()) is not None:
+        popped.append(ev.time)
+    assert popped == sorted(times)
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0, max_value=100), st.integers(0, 5)),
+        min_size=1,
+        max_size=100,
+    ),
+    st.sets(st.integers(0, 99)),
+)
+def test_property_cancellation_removes_exactly_the_cancelled(entries, cancel_idx):
+    q = EventQueue()
+    handles = [q.push(t, lambda: None, priority=p) for t, p in entries]
+    for i in cancel_idx:
+        if i < len(handles):
+            handles[i].cancel()
+    surviving = sum(1 for h in handles if not h.cancelled)
+    popped = 0
+    while q.pop() is not None:
+        popped += 1
+    assert popped == surviving

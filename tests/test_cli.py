@@ -1,0 +1,49 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_prints_ids(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table3" in out and "fig4" in out
+
+
+def test_no_command_lists(capsys):
+    assert main([]) == 0
+    assert "table1" in capsys.readouterr().out
+
+
+def test_run_table1(capsys):
+    assert main(["run", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "table1_exact: True" in out
+
+
+def test_run_fig1(capsys):
+    assert main(["run", "fig1"]) == 0
+    out = capsys.readouterr().out
+    assert "hpc" in out
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "nope"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_report_quick(capsys):
+    assert main(["report", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Tables I/II: exact" in out
+    for exp in ("table3", "table4", "table5", "table6"):
+        assert exp in out
+
+
+def test_run_table3_with_iterations(capsys):
+    assert main(["run", "table3", "--iterations", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "Baseline 2.6.24" in out
+    assert "vs. paper" in out
+    assert "improvement uniform over cfs" in out

@@ -1,0 +1,49 @@
+"""Bit-determinism: identical configurations produce identical runs.
+
+The whole reproduction strategy depends on it: goldens, calibration and
+the paper-shape assertions are only meaningful if the simulation is a
+pure function of its inputs.
+"""
+
+import pytest
+
+from repro.experiments.common import run_experiment
+from repro.workloads.metbench import MetBench
+from repro.workloads.siesta import Siesta
+
+
+def _fingerprint(res):
+    return (
+        res.exec_time,
+        tuple(sorted((n, t.pct_comp, t.running) for n, t in res.tasks.items())),
+        res.priority_changes,
+        tuple(sorted((n, tuple(h)) for n, h in res.priority_history.items())),
+    )
+
+
+@pytest.mark.parametrize("scheduler", ["cfs", "uniform", "adaptive"])
+def test_metbench_runs_are_bit_identical(scheduler):
+    a = run_experiment(MetBench(iterations=5), scheduler, keep_trace=True)
+    b = run_experiment(MetBench(iterations=5), scheduler, keep_trace=True)
+    assert _fingerprint(a) == _fingerprint(b)
+
+
+def test_siesta_randomness_is_seed_determined():
+    a = run_experiment(Siesta(scf_steps=2, seed=1), "cfs", keep_trace=False)
+    b = run_experiment(Siesta(scf_steps=2, seed=1), "cfs", keep_trace=False)
+    c = run_experiment(Siesta(scf_steps=2, seed=2), "cfs", keep_trace=False)
+    assert a.exec_time == b.exec_time
+    assert a.exec_time != c.exec_time
+
+
+def test_event_counts_identical_across_runs():
+    from repro.experiments.common import build_kernel
+    from repro.workloads.base import launch_workload
+
+    counts = []
+    for _ in range(2):
+        kernel = build_kernel()
+        launch_workload(kernel, MetBench(iterations=3))
+        kernel.run()
+        counts.append(kernel.sim.events_processed)
+    assert counts[0] == counts[1]

@@ -1,0 +1,59 @@
+"""Regression goldens: exact pins against behavioural drift.
+
+The simulation is fully deterministic, so reduced-size experiment
+results can be pinned to high precision.  A failure here means the
+*behaviour* of the scheduler/model changed — which may be intentional
+(recalibration), in which case regenerate the constants with::
+
+    python -c "import tests.test_goldens as g; g.regenerate()"
+
+and review the diff together with the benchmark shape assertions.
+"""
+
+import pytest
+
+from repro.experiments import btmz, metbench, metbenchvar, siesta
+
+#: (runner, scheduler, kwargs) per golden key.
+CASES = {
+    "metbench_cfs": (metbench.run_one, "cfs", {"iterations": 8}),
+    "metbench_uniform": (metbench.run_one, "uniform", {"iterations": 8}),
+    "metbenchvar_uniform": (
+        metbenchvar.run_one, "uniform", {"iterations": 9, "k": 3},
+    ),
+    "btmz_cfs": (btmz.run_one, "cfs", {"iterations": 20}),
+    "btmz_adaptive": (btmz.run_one, "adaptive", {"iterations": 20}),
+    "siesta_cfs": (siesta.run_one, "cfs", {"scf_steps": 3}),
+    "siesta_uniform": (siesta.run_one, "uniform", {"scf_steps": 3}),
+}
+
+GOLDEN_EXEC_TIMES = {
+    "metbench_cfs": 14.538995952380949,
+    "metbench_uniform": 13.115429400656815,
+    "metbenchvar_uniform": 67.70751897192518,
+    "btmz_cfs": 9.552087411729325,
+    "btmz_adaptive": 8.120035184386776,
+    "siesta_cfs": 13.299036859097328,
+    "siesta_uniform": 12.51394375364701,
+}
+
+
+@pytest.mark.parametrize("key", sorted(CASES))
+def test_golden(key):
+    runner, scheduler, kwargs = CASES[key]
+    result = runner(scheduler, keep_trace=False, **kwargs)
+    assert result.exec_time == pytest.approx(
+        GOLDEN_EXEC_TIMES[key], rel=1e-9
+    ), (
+        f"{key}: behaviour changed "
+        f"({result.exec_time!r} != {GOLDEN_EXEC_TIMES[key]!r}); "
+        "if intentional, regenerate the goldens (see module docstring)"
+    )
+
+
+def regenerate():  # pragma: no cover - maintenance helper
+    print("GOLDEN_EXEC_TIMES = {")
+    for key, (runner, scheduler, kwargs) in CASES.items():
+        result = runner(scheduler, keep_trace=False, **kwargs)
+        print(f"    {key!r}: {result.exec_time!r},")
+    print("}")

@@ -1,0 +1,40 @@
+"""Public API surface tests: everything advertised in __all__ exists
+and the quickstart from the package docstring actually works."""
+
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickstart_example():
+    baseline = repro.run_experiment(
+        repro.MetBench(iterations=3), "cfs", keep_trace=False
+    )
+    dynamic = repro.run_experiment(
+        repro.MetBench(iterations=3), "uniform", keep_trace=False
+    )
+    assert dynamic.improvement_over(baseline) > 5.0
+
+
+def test_decode_shares_exported():
+    assert repro.decode_shares(6, 2) == (31 / 32, 1 / 32)
+
+
+def test_machine_and_kernel_compose():
+    machine = repro.Machine(repro.MachineTopology(chips=2))
+    kernel = repro.Kernel(machine=machine)
+    assert len(kernel.rqs) == 8
+
+
+def test_hwpriority_enum():
+    assert int(repro.HWPriority.MEDIUM) == 4
+    assert int(repro.HWPriority.HIGH) == 6

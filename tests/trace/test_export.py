@@ -1,0 +1,77 @@
+"""CSV / bundle export tests."""
+
+import csv
+import io
+import os
+
+import pytest
+
+from repro.experiments.metbench import run_one
+from repro.trace.export import (
+    intervals_csv,
+    priority_changes_csv,
+    stats_csv,
+    write_bundle,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_one("uniform", iterations=3, keep_trace=True)
+
+
+def _rows(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+def test_intervals_csv(result):
+    rows = _rows(intervals_csv(result.trace, result.exec_time))
+    assert rows[0] == ["pid", "name", "state", "start", "end", "cpu"]
+    assert len(rows) > 10
+    # intervals are well-formed: end >= start
+    for _pid, _name, _state, start, end, _cpu in rows[1:]:
+        assert float(end) >= float(start)
+
+
+def test_stats_csv_matches_result(result):
+    rows = _rows(stats_csv(result.trace, result.exec_time))
+    by_name = {r[1]: r for r in rows[1:]}
+    assert float(by_name["P1"][6]) == pytest.approx(
+        result.tasks["P1"].pct_comp, abs=0.01
+    )
+
+
+def test_priority_changes_csv(result):
+    rows = _rows(priority_changes_csv(result.trace))
+    assert rows[0] == ["time", "pid", "name", "priority"]
+    names = {r[2] for r in rows[1:]}
+    assert names == {"P2", "P4"}
+
+
+def test_write_bundle(result, tmp_path):
+    paths = write_bundle(result, str(tmp_path))
+    assert len(paths) == 5
+    for p in paths:
+        assert os.path.exists(p)
+        assert os.path.getsize(p) > 0
+    exts = {os.path.splitext(p)[1] for p in paths}
+    assert exts == {".prv", ".csv", ".txt"}
+
+
+def test_write_bundle_requires_trace(tmp_path):
+    res = run_one("cfs", iterations=1, keep_trace=False)
+    with pytest.raises(ValueError, match="keep_trace"):
+        write_bundle(res, str(tmp_path))
+
+
+def test_cli_export(tmp_path, capsys):
+    from repro.cli import main
+
+    rc = main(
+        ["export", "metbench", "uniform", "--out", str(tmp_path),
+         "--iterations", "2"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "exec time" in out
+    assert len(list(tmp_path.iterdir())) == 5

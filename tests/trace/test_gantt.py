@@ -1,0 +1,76 @@
+"""ASCII Gantt rendering tests."""
+
+import pytest
+
+from repro.trace.collector import TraceCollector
+from repro.trace.gantt import render_gantt, render_timeline, _name_key
+from repro.trace.records import State, TaskTimeline
+
+
+def make_timeline():
+    tl = TaskTimeline(1, "P1")
+    tl.transition(0.0, State.RUNNING, cpu=0)
+    tl.transition(5.0, State.WAITING)
+    tl.finish(10.0)
+    return tl
+
+
+def test_render_timeline_glyphs():
+    tl = make_timeline()
+    row = render_timeline(tl, 0.0, 10.0, width=10)
+    assert row == "#####....."
+
+
+def test_render_timeline_ready_glyph():
+    tl = TaskTimeline(1, "t")
+    tl.transition(0.0, State.READY)
+    tl.finish(1.0)
+    assert render_timeline(tl, 0.0, 1.0, width=4) == "----"
+
+
+def test_render_timeline_outside_span_blank():
+    tl = make_timeline()
+    row = render_timeline(tl, 0.0, 20.0, width=20)
+    assert row.endswith(" " * 10)
+
+
+def test_render_timeline_degenerate_window():
+    assert render_timeline(make_timeline(), 5.0, 5.0, width=10) == ""
+
+
+def test_render_gantt_full():
+    trace = TraceCollector()
+
+    class T:
+        def __init__(self, pid, name):
+            self.pid, self.name = pid, name
+            self.is_idle_task = False
+
+    a, b = T(1, "P1"), T(2, "P2")
+    trace.record(0.0, a, "run", cpu=0)
+    trace.record(1.0, a, "block", reason="x", wait=True)
+    trace.record(0.0, b, "run", cpu=1)
+    out = render_gantt(trace, 2.0, width=10)
+    lines = out.splitlines()
+    assert any(line.startswith("P1") for line in lines)
+    assert any(line.startswith("P2") for line in lines)
+    assert "legend" in lines[-1]
+
+
+def test_render_gantt_respects_name_filter():
+    trace = TraceCollector()
+
+    class T:
+        def __init__(self, pid, name):
+            self.pid, self.name = pid, name
+            self.is_idle_task = False
+
+    trace.record(0.0, T(1, "P1"), "run", cpu=0)
+    trace.record(0.0, T(2, "P2"), "run", cpu=1)
+    out = render_gantt(trace, 1.0, width=10, names=["P2"])
+    assert "P2" in out and "P1 " not in out
+
+
+def test_natural_name_sort():
+    names = ["P10", "P2", "P1", "master"]
+    assert sorted(names, key=_name_key) == ["P1", "P2", "P10", "master"]

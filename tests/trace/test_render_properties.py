@@ -1,0 +1,91 @@
+"""Property-based rendering tests: random timelines must always render
+to well-formed Gantt rows and valid .prv records."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.collector import TraceCollector
+from repro.trace.gantt import render_timeline
+from repro.trace.paraver import export_prv
+from repro.trace.records import State, TaskTimeline
+
+STATES = [State.RUNNING, State.READY, State.WAITING]
+GLYPHS = set("#-. ")
+
+
+@st.composite
+def timelines(draw):
+    """A random well-formed timeline: increasing transition times."""
+    n = draw(st.integers(1, 20))
+    durations = draw(
+        st.lists(
+            st.floats(min_value=1e-6, max_value=10.0),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    tl = TaskTimeline(1, "T")
+    t = 0.0
+    for d in durations:
+        state = draw(st.sampled_from(STATES))
+        tl.transition(t, state, cpu=draw(st.integers(0, 3)))
+        t += d
+    tl.finish(t)
+    return tl, t
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=timelines(), width=st.integers(1, 200))
+def test_render_row_always_well_formed(data, width):
+    tl, end = data
+    row = render_timeline(tl, 0.0, end, width)
+    assert len(row) == width
+    assert set(row) <= GLYPHS
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=timelines())
+def test_full_window_has_no_blank_columns(data):
+    """Sampling inside the covered span never produces blanks (the
+    timeline tiles its lifetime)."""
+    tl, end = data
+    if end <= 0:
+        return
+    row = render_timeline(tl, 0.0, end, 50)
+    assert " " not in row
+
+
+class _T:
+    is_idle_task = False
+
+    def __init__(self, pid, name):
+        self.pid, self.name = pid, name
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    events=st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100),
+            st.integers(1, 4),
+            st.sampled_from(["run", "block", "wake", "preempted"]),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_prv_export_well_formed_for_random_event_streams(events):
+    trace = TraceCollector()
+    tasks = {pid: _T(pid, f"P{pid}") for pid in range(1, 5)}
+    for time, pid, kind in sorted(events):
+        trace.record(time, tasks[pid], kind, cpu=0)
+    end = max(t for t, _, _ in events) + 1.0
+    out = export_prv(trace, end)
+    lines = out.strip().splitlines()
+    assert lines[0].startswith("#Paraver")
+    for line in lines[1:]:
+        fields = line.split(":")
+        assert fields[0] in ("1", "2")
+        if fields[0] == "1":  # state record: begin <= end
+            assert int(fields[5]) <= int(fields[6])
+        assert all(f.lstrip("-").isdigit() for f in fields[1:])

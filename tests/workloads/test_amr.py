@@ -1,0 +1,60 @@
+"""AMR drift workload tests."""
+
+import pytest
+
+from repro.experiments.common import run_experiment
+from repro.workloads.amr import AMRDrift
+
+
+def test_front_sweeps_whole_domain():
+    wl = AMRDrift(iterations=10)
+    assert wl.front_position(0) == 0.0
+    assert wl.front_position(9) == pytest.approx(3.0)
+
+
+def test_total_work_conserved_per_iteration():
+    wl = AMRDrift()
+    for it in (0, 15, 30, 59):
+        total = sum(wl.work_of(r, it) for r in range(wl.ranks))
+        assert total == pytest.approx(wl.total_work)
+
+
+def test_hot_rank_follows_the_front():
+    wl = AMRDrift(iterations=60)
+    first_hot = max(range(4), key=lambda r: wl.work_of(r, 0))
+    last_hot = max(range(4), key=lambda r: wl.work_of(r, 59))
+    mid_hot = max(range(4), key=lambda r: wl.work_of(r, 30))
+    assert first_hot == 0
+    assert last_hot == 3
+    assert mid_hot in (1, 2)
+
+
+def test_every_rank_gets_its_turn_as_hotspot():
+    wl = AMRDrift(iterations=60)
+    hot_ranks = {
+        max(range(4), key=lambda r: wl.work_of(r, it)) for it in range(60)
+    }
+    assert hot_ranks == {0, 1, 2, 3}
+
+
+def test_floor_bounds_minimum_work():
+    wl = AMRDrift()
+    for it in range(0, 60, 10):
+        for r in range(4):
+            assert wl.work_of(r, it) >= wl.floor
+
+
+def test_ranks_validation():
+    with pytest.raises(ValueError):
+        AMRDrift(ranks=1)
+
+
+@pytest.mark.slow
+def test_hpcsched_tracks_the_drift():
+    """The detector must re-balance repeatedly (not once) and still
+    come out ahead of CFS."""
+    base = run_experiment(AMRDrift(iterations=30), "cfs", keep_trace=False)
+    uni = run_experiment(AMRDrift(iterations=30), "uniform", keep_trace=False)
+    assert uni.improvement_over(base) > 2.0
+    # the front crossing cores forces several distinct re-balances
+    assert uni.priority_changes >= 4

@@ -1,0 +1,61 @@
+"""BT-MZ workload tests: topology, tags, shape."""
+
+import pytest
+
+from repro.experiments.common import run_experiment
+from repro.workloads.btmz import BTMZ, DEFAULT_ZONE_WORKS
+
+
+def test_defaults():
+    wl = BTMZ()
+    assert wl.zone_works == DEFAULT_ZONE_WORKS
+    assert wl.iterations == 200
+    assert len(wl.rank_specs()) == 4
+
+
+def test_ring_neighbors():
+    wl = BTMZ()
+    assert wl.neighbors(0) == [1, 3]
+    assert wl.neighbors(1) == [0, 2]
+    assert wl.neighbors(3) == [0, 2]
+
+
+def test_two_rank_ring_degenerates():
+    wl = BTMZ(zone_works=[1.0, 2.0])
+    assert wl.neighbors(0) == [1]
+    assert wl.neighbors(1) == [0]
+
+
+def test_needs_at_least_two_ranks():
+    with pytest.raises(ValueError):
+        BTMZ(zone_works=[1.0])
+
+
+def test_zone_works_are_uneven():
+    works = DEFAULT_ZONE_WORKS
+    assert works == sorted(works)
+    assert works[-1] / works[0] > 3  # the paper's heavy-tail distribution
+
+
+def test_short_run_utilization_ladder(quiet_kernel):
+    res = run_experiment(BTMZ(iterations=10), "cfs", keep_trace=False)
+    comps = [res.tasks[f"P{i}"].pct_comp for i in range(1, 5)]
+    assert comps == sorted(comps)
+    assert comps[3] > 95.0
+    assert comps[0] < 30.0
+
+
+def test_neighbor_sync_not_global(quiet_kernel):
+    """With neighbor-only waitall, every rank still completes every
+    iteration (no deadlock, tags prevent cross-iteration matches)."""
+    res = run_experiment(BTMZ(iterations=5), "cfs", keep_trace=False)
+    assert res.exec_time > 0
+    # iteration time tracks the slowest rank
+    assert res.exec_time == pytest.approx(5 * 94.97 / 200, rel=0.1)
+
+
+def test_uniform_boosts_heaviest_rank(quiet_kernel):
+    res = run_experiment(BTMZ(iterations=12), "uniform", keep_trace=True)
+    hist = res.priority_history["P4"]
+    assert hist and hist[-1][1] == 6
+    assert not res.priority_history["P1"]

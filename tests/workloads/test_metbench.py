@@ -1,0 +1,70 @@
+"""MetBench workload structure + short-run behaviour."""
+
+import pytest
+
+from repro.experiments.common import run_experiment
+from repro.workloads.metbench import (
+    DEFAULT_BIG_LOAD,
+    DEFAULT_SMALL_LOAD,
+    MetBench,
+)
+
+
+def test_default_layout_alternates_small_big():
+    wl = MetBench()
+    assert wl.loads == [
+        DEFAULT_SMALL_LOAD, DEFAULT_BIG_LOAD,
+        DEFAULT_SMALL_LOAD, DEFAULT_BIG_LOAD,
+    ]
+    # each core pair hosts one small + one big worker
+    specs = wl.rank_specs()
+    names = [s.name for s in specs]
+    assert names == ["master", "P1", "P2", "P3", "P4"]
+    cpus = {s.name: s.cpu for s in specs}
+    assert cpus["P1"] == 0 and cpus["P2"] == 1  # core 0
+    assert cpus["P3"] == 2 and cpus["P4"] == 3  # core 1
+
+
+def test_constant_loads_across_iterations():
+    wl = MetBench()
+    for it in range(5):
+        assert wl.worker_load(0, it) == DEFAULT_SMALL_LOAD
+        assert wl.worker_load(1, it) == DEFAULT_BIG_LOAD
+
+
+def test_short_run_baseline_shape(quiet_kernel):
+    res = run_experiment(MetBench(iterations=4), "cfs", keep_trace=False)
+    # small workers ~25% utilization, big ~100%
+    assert res.tasks["P1"].pct_comp == pytest.approx(25.3, abs=3.0)
+    assert res.tasks["P2"].pct_comp > 99.0
+    assert res.tasks["P3"].pct_comp == pytest.approx(25.3, abs=3.0)
+    assert res.tasks["P4"].pct_comp > 99.0
+
+
+def test_iteration_time_calibration(quiet_kernel):
+    """45 iterations -> ~81.8 s baseline (paper Table III)."""
+    res = run_experiment(MetBench(iterations=5), "cfs", keep_trace=False)
+    per_iter = res.exec_time / 5
+    assert per_iter == pytest.approx(81.78 / 45, rel=0.02)
+
+
+def test_custom_loads_and_iterations():
+    wl = MetBench(loads=[1.0, 2.0], iterations=7, cpus=[0, 2])
+    assert len(wl.rank_specs()) == 3  # master + 2 workers
+    assert wl.iterations == 7
+
+
+def test_per_worker_profiles():
+    from repro.power5.perfmodel import CPU_BOUND, MEM_BOUND
+
+    wl = MetBench(profiles=[CPU_BOUND, MEM_BOUND, CPU_BOUND, MEM_BOUND])
+    specs = {s.name: s for s in wl.rank_specs()}
+    assert specs["P1"].profile is CPU_BOUND
+    assert specs["P2"].profile is MEM_BOUND
+
+
+def test_profiles_length_validated():
+    from repro.power5.perfmodel import CPU_BOUND
+
+    with pytest.raises(ValueError):
+        MetBench(profiles=[CPU_BOUND])

@@ -1,0 +1,58 @@
+"""MetBenchVar: load reversal schedule tests."""
+
+import pytest
+
+from repro.workloads.metbenchvar import MetBenchVar
+
+
+def test_k_validation():
+    with pytest.raises(ValueError):
+        MetBenchVar(k=0)
+
+
+def test_load_swap_schedule():
+    wl = MetBenchVar(loads=[1.0, 4.0, 1.0, 4.0], k=15)
+    # period 0 (iterations 0-14): own loads
+    assert wl.worker_load(0, 0) == 1.0
+    assert wl.worker_load(1, 14) == 4.0
+    # period 1 (15-29): partner loads (reversed imbalance)
+    assert wl.worker_load(0, 15) == 4.0
+    assert wl.worker_load(1, 15) == 1.0
+    assert wl.worker_load(2, 20) == 4.0
+    assert wl.worker_load(3, 29) == 1.0
+    # period 2 (30-44): back to own loads
+    assert wl.worker_load(0, 30) == 1.0
+    assert wl.worker_load(1, 44) == 4.0
+
+
+def test_pairs_swap_within_core():
+    """P1<->P2 and P3<->P4 swap (the core pairs), never across cores."""
+    wl = MetBenchVar(loads=[1.0, 4.0, 2.0, 8.0], k=1)
+    assert wl.worker_load(0, 1) == 4.0  # P1 takes P2's load
+    assert wl.worker_load(2, 1) == 8.0  # P3 takes P4's load
+    assert wl.worker_load(3, 1) == 2.0
+
+
+def test_total_work_preserved_per_period():
+    wl = MetBenchVar(k=5, iterations=10)
+    total_p0 = sum(wl.worker_load(w, 0) for w in range(4))
+    total_p1 = sum(wl.worker_load(w, 5) for w in range(4))
+    assert total_p0 == pytest.approx(total_p1)
+
+
+def test_baseline_symmetry_of_percomp(quiet_kernel):
+    """Across an even number of periods every worker sees both loads,
+    so baseline %Comp averages symmetrically (paper: 50.2 / 75.1)."""
+    from repro.experiments.common import run_experiment
+
+    res = run_experiment(
+        MetBenchVar(iterations=6, k=3), "cfs", keep_trace=False
+    )
+    assert res.tasks["P1"].pct_comp == pytest.approx(
+        res.tasks["P3"].pct_comp, abs=1.0
+    )
+    assert res.tasks["P2"].pct_comp == pytest.approx(
+        res.tasks["P4"].pct_comp, abs=1.0
+    )
+    # mixed small/big periods land between the two pure utilizations
+    assert 30 < res.tasks["P1"].pct_comp < 75
