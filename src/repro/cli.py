@@ -4,22 +4,28 @@ Subcommands:
 
 * ``list``                      — show the experiment ids,
 * ``run <experiment-id>``       — run one experiment and print the
-  paper-style table / figure output,
-* ``table1`` .. shortcuts map straight to ``run``.
+  paper-style table / figure output (``--param KEY=VALUE`` and
+  ``--seed N`` forward overrides to the runner),
+* ``export``                    — write trace artifacts for one run,
+* ``report``                    — regenerate the full evaluation,
+* ``campaign run|status|report`` — parallel, cached campaigns over
+  the whole experiment matrix (see :mod:`repro.campaign`).
 
 Examples::
 
     repro-hpcsched list
     repro-hpcsched run table3
-    repro-hpcsched run fig4
-    repro-hpcsched run ablation_latency
+    repro-hpcsched run fig4 --param iterations=9 --param k=3
+    repro-hpcsched campaign run paper-full --jobs 4
+    repro-hpcsched campaign status campaigns/paper-full
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
 import sys
-from typing import Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from repro.experiments.registry import all_ids, run_by_id
 
@@ -81,6 +87,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     runp.add_argument(
         "--iterations", type=int, default=None, help="override iteration count"
     )
+    runp.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="extra runner keyword override (repeatable); values are "
+        "parsed as Python literals when possible",
+    )
+    runp.add_argument(
+        "--seed", type=int, default=None,
+        help="forward a seed to runners that accept one",
+    )
     exp = sub.add_parser(
         "export",
         help="run one workload+scheduler and write trace artifacts "
@@ -103,6 +121,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--quick", action="store_true",
         help="reduced iteration counts (fast smoke report)",
     )
+    _add_campaign_parser(sub)
 
     args = parser.parse_args(argv)
     if args.command == "list" or args.command is None:
@@ -110,25 +129,215 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(exp_id)
         return 0
     if args.command == "run":
-        kwargs = {}
-        if args.iterations is not None:
-            kwargs["iterations"] = args.iterations
-        try:
-            result = run_by_id(args.experiment, **kwargs)
-        except KeyError as exc:
-            print(exc.args[0], file=sys.stderr)
-            return 2
-        except TypeError:
-            # experiment does not take an 'iterations' parameter
-            result = run_by_id(args.experiment)
-        _print_result(args.experiment, result)
-        return 0
+        return _run_single(args)
     if args.command == "export":
         return _export(args)
     if args.command == "report":
         return _report(quick=args.quick)
+    if args.command == "campaign":
+        return _campaign(args)
     parser.print_help()
     return 1
+
+
+def _parse_params(pairs: Sequence[str]) -> Dict[str, Any]:
+    """Parse repeated ``KEY=VALUE`` flags; values are Python literals
+    when they parse as one, strings otherwise."""
+    out: Dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--param expects KEY=VALUE, got {pair!r}")
+        try:
+            out[key] = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            out[key] = raw
+    return out
+
+
+def _run_single(args) -> int:
+    """``run``: one experiment through the campaign invocation path."""
+    from repro.campaign.spec import RunSpec, invoke
+
+    params = _parse_params(args.param)
+    if args.iterations is not None:
+        params.setdefault("iterations", args.iterations)
+    spec = RunSpec(experiment=args.experiment, params=params, seed=args.seed)
+    try:
+        result, dropped = invoke(spec)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    for name in dropped:
+        print(
+            f"note: {args.experiment} does not accept {name!r}; ignored",
+            file=sys.stderr,
+        )
+    _print_result(args.experiment, result)
+    return 0
+
+
+def _add_campaign_parser(sub) -> None:
+    """Attach the ``campaign`` subcommand tree."""
+    camp = sub.add_parser(
+        "campaign",
+        help="run/inspect experiment campaigns (parallel, cached)",
+    )
+    csub = camp.add_subparsers(dest="campaign_command")
+
+    crun = csub.add_parser("run", help="execute a campaign")
+    crun.add_argument(
+        "name",
+        nargs="?",
+        default="paper-full",
+        help="built-in campaign (paper-full, paper-quick, smoke) — "
+        "ignored when --experiments is given",
+    )
+    crun.add_argument(
+        "--experiments",
+        default=None,
+        help="comma-separated experiment ids for an ad-hoc campaign",
+    )
+    crun.add_argument(
+        "--seeds", default=None,
+        help="comma-separated seeds to cross with the experiments",
+    )
+    crun.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="campaign-wide runner override (repeatable)",
+    )
+    crun.add_argument("--jobs", type=int, default=1, help="worker processes")
+    crun.add_argument(
+        "--timeout", type=float, default=None, help="per-run timeout (s)"
+    )
+    crun.add_argument(
+        "--retries", type=int, default=1,
+        help="retry budget per run (default 1)",
+    )
+    crun.add_argument(
+        "--backoff", type=float, default=0.5,
+        help="base retry backoff (s), doubled per attempt",
+    )
+    crun.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute everything; skip the content-addressed cache",
+    )
+    crun.add_argument(
+        "--verify", type=int, default=1, metavar="N",
+        help="re-run the N cheapest runs serially and assert "
+        "byte-identical results (0 disables)",
+    )
+    crun.add_argument(
+        "--out", default=None,
+        help="campaign directory (default campaigns/<name>)",
+    )
+
+    for cmd, help_text in (
+        ("status", "print the run table + totals of a stored campaign"),
+        ("report", "status plus the paper-style aggregate tables"),
+    ):
+        p = csub.add_parser(cmd, help=help_text)
+        p.add_argument(
+            "target", nargs="?", default="paper-full",
+            help="campaign directory or built-in name",
+        )
+
+
+def _campaign_dir(target: str):
+    """Map a campaign name or path to its store directory."""
+    from pathlib import Path
+
+    path = Path(target)
+    if path.is_dir() or path.suffix or "/" in target:
+        return path
+    return Path("campaigns") / target
+
+
+def _campaign(args) -> int:
+    """Dispatch the ``campaign`` sub-subcommands."""
+    from pathlib import Path
+
+    from repro.campaign import (
+        CampaignConsistencyError,
+        CampaignExecutor,
+        CampaignStore,
+        ProgressPrinter,
+        ResultCache,
+        builtin_campaign,
+        expand_matrix,
+        render_report,
+        render_status,
+    )
+
+    if args.campaign_command in ("status", "report"):
+        root = _campaign_dir(args.target)
+        if not (root / "manifest.json").exists():
+            print(f"no campaign found under {root}/", file=sys.stderr)
+            return 2
+        store = CampaignStore(root)
+        render = render_status if args.campaign_command == "status" else render_report
+        print(render(store))
+        return 0
+    if args.campaign_command != "run":
+        print("usage: repro-hpcsched campaign {run,status,report}", file=sys.stderr)
+        return 1
+
+    if args.experiments:
+        ids = [x.strip() for x in args.experiments.split(",") if x.strip()]
+        seeds = (
+            [int(s) for s in args.seeds.split(",")]
+            if args.seeds
+            else [None]
+        )
+        campaign = expand_matrix(
+            "adhoc", ids, seeds=seeds, params=_parse_params(args.param),
+            description="ad-hoc CLI campaign",
+        )
+    else:
+        try:
+            campaign = builtin_campaign(args.name)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        if args.param or args.seeds:
+            seeds = (
+                [int(s) for s in args.seeds.split(",")] if args.seeds else [None]
+            )
+            campaign = expand_matrix(
+                campaign.name,
+                sorted({r.experiment for r in campaign.runs}),
+                seeds=seeds,
+                params=_parse_params(args.param),
+                description=campaign.description,
+            )
+
+    root = Path(args.out) if args.out else _campaign_dir(campaign.name)
+    store = CampaignStore(root)
+    cache = ResultCache(root / "cache", enabled=not args.no_cache)
+    executor = CampaignExecutor(
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        backoff=args.backoff,
+        cache=cache,
+        store=store,
+        on_event=ProgressPrinter(len(campaign.runs)),
+        verify=args.verify,
+    )
+    try:
+        result = executor.run(campaign)
+    except CampaignConsistencyError as exc:
+        print(f"DETERMINISM VIOLATION: {exc}", file=sys.stderr)
+        return 3
+    totals = result.summary()
+    print(
+        f"\ncampaign {campaign.name}: {totals['ok']}/{totals['runs']} OK, "
+        f"{totals['failed']} failed, cache-hit ratio "
+        f"{totals['cache_hit_ratio']:.0%}, wall {totals['wall_time']:.2f}s"
+        + (f", verified {totals['verified']} parallel==serial" if totals["verified"] else "")
+    )
+    print(f"artifacts: {store.manifest_path} + {store.runs_path}")
+    return 0 if not result.failed else 1
 
 
 def _report(quick: bool = False) -> int:

@@ -26,17 +26,23 @@ def register(exp_id: str):
     return deco
 
 
-def run_by_id(exp_id: str, **kwargs):
-    """Run a registered experiment by its paper id."""
+def resolve(exp_id: str) -> Callable:
+    """Return the runner registered under ``exp_id``.
+
+    Raises :class:`KeyError` with the known ids when the id is unknown.
+    """
     _load_all()
     try:
-        fn = EXPERIMENTS[exp_id]
+        return EXPERIMENTS[exp_id]
     except KeyError:
-        _load_all()
         raise KeyError(
             f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
-    return fn(**kwargs)
+
+
+def run_by_id(exp_id: str, **kwargs):
+    """Run a registered experiment by its paper id."""
+    return resolve(exp_id)(**kwargs)
 
 
 def all_ids():

@@ -1,0 +1,41 @@
+"""Stub experiment runners injected into campaigns by the tests.
+
+Referenced by dotted path (``tests.campaign.stubs:<fn>``) in a
+``RunSpec.runner`` override, so worker processes import them exactly
+like real experiments.  ``flaky_run`` keeps its attempt count on disk
+because retries cross process boundaries.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+def ok_run(seed: int = 0, value: float = 1.0, tag: str = "x") -> dict:
+    """Deterministic success: a pure function of its arguments."""
+    return {"seed": seed, "value": value * 2 + seed, "tag": tag}
+
+
+def crash_run(seed: int = 0, message: str = "injected crash") -> dict:
+    """Always raises (the executor must record the traceback)."""
+    raise RuntimeError(f"{message} (seed={seed})")
+
+
+def hang_run(seed: int = 0, forever: float = 3600.0) -> dict:
+    """Blocks far past any test timeout (simulates a hung simulation)."""
+    time.sleep(forever)
+    return {"seed": seed}
+
+
+def flaky_run(marker_dir: str, fails: int = 1, seed: int = 0) -> dict:
+    """Fails the first ``fails`` attempts, then succeeds.
+
+    Attempts are counted as marker files under ``marker_dir`` so the
+    count survives the worker process boundary.
+    """
+    attempt = len(os.listdir(marker_dir)) + 1
+    open(os.path.join(marker_dir, f"attempt-{attempt}-{os.getpid()}"), "w").close()
+    if attempt <= fails:
+        raise RuntimeError(f"flaky failure on attempt {attempt}")
+    return {"seed": seed, "succeeded_on_attempt": attempt}

@@ -1,0 +1,90 @@
+"""Parallel campaigns must produce byte-identical results to serial.
+
+Every experiment is bit-reproducible from its spec, so the campaign
+layer doubles as a correctness harness: the same 4-run matrix executed
+with ``jobs=1`` and ``jobs=4`` (fresh stores and caches) must yield
+the same canonical payload bytes per run, and the executor's built-in
+verifier must agree.
+"""
+
+import pytest
+
+from repro.campaign import (
+    CampaignConsistencyError,
+    CampaignExecutor,
+    CampaignSpec,
+    CampaignStore,
+    ResultCache,
+    RunSpec,
+    expand_matrix,
+)
+
+
+def fresh_executor(tmp_path, tag, jobs, **kw):
+    return CampaignExecutor(
+        jobs=jobs,
+        cache=ResultCache(tmp_path / tag / "cache", source_token="t"),
+        store=CampaignStore(tmp_path / tag / "camp"),
+        verify=kw.pop("verify", 0),
+        **kw,
+    )
+
+
+def test_stub_matrix_parallel_equals_serial(tmp_path):
+    camp = expand_matrix(
+        "m",
+        ["stub"],
+        seeds=[0, 1],
+        grid={"value": [1.0, 2.5]},
+    )
+    for run in camp.runs:
+        run.runner = "tests.campaign.stubs:ok_run"
+    assert len(camp.runs) == 4
+    serial = fresh_executor(tmp_path, "serial", jobs=1).run(camp)
+    parallel = fresh_executor(tmp_path, "parallel", jobs=4).run(camp)
+    assert len(serial.ok) == len(parallel.ok) == 4
+    assert serial.payloads == parallel.payloads  # byte-for-byte
+
+
+def test_real_experiment_parallel_equals_serial(tmp_path):
+    camp = CampaignSpec(
+        "real",
+        [
+            RunSpec("table3", params={"iterations": 2}),
+            RunSpec("fig2", params={"iterations": 2}),
+            RunSpec("table1"),
+            RunSpec("fig1"),
+        ],
+    )
+    serial = fresh_executor(tmp_path, "serial", jobs=1).run(camp)
+    parallel = fresh_executor(tmp_path, "parallel", jobs=4).run(camp)
+    assert not serial.failed and not parallel.failed
+    assert serial.payloads == parallel.payloads
+
+
+def test_builtin_verifier_passes_on_deterministic_runs(tmp_path):
+    camp = CampaignSpec("v", [RunSpec("fig1"), RunSpec("table1")])
+    result = fresh_executor(tmp_path, "v", jobs=2, verify=2).run(camp)
+    assert result.verified == 2
+
+
+def test_builtin_verifier_catches_nondeterminism(tmp_path):
+    camp = CampaignSpec(
+        "nd",
+        [
+            RunSpec(
+                "nondet",
+                runner="tests.campaign.test_determinism:_nondeterministic_run",
+            )
+        ],
+    )
+    with pytest.raises(CampaignConsistencyError, match="not deterministic"):
+        fresh_executor(tmp_path, "nd", jobs=1, verify=1).run(camp)
+
+
+def _nondeterministic_run():
+    """Leaks process identity into the result: the pool worker and the
+    in-process serial verifier necessarily disagree."""
+    import os
+
+    return {"pid": os.getpid()}

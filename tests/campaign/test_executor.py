@@ -1,0 +1,167 @@
+"""CampaignExecutor: fault tolerance (crash, hang, retry) + caching."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignExecutor,
+    CampaignSpec,
+    CampaignStore,
+    ResultCache,
+    RunSpec,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_RETRYING,
+)
+
+STUBS = "tests.campaign.stubs"
+
+
+def stub(fn, *, seed=0, timeout=None, **params):
+    return RunSpec(
+        experiment=f"stub-{fn}", params=params, seed=seed,
+        runner=f"{STUBS}:{fn}", timeout=timeout,
+    )
+
+
+def make_executor(tmp_path, **kw):
+    kw.setdefault("cache", ResultCache(tmp_path / "cache", source_token="t"))
+    kw.setdefault("store", CampaignStore(tmp_path / "camp"))
+    kw.setdefault("backoff", 0.0)
+    kw.setdefault("verify", 0)
+    return CampaignExecutor(**kw)
+
+
+def test_ok_runs_and_artifacts(tmp_path):
+    ex = make_executor(tmp_path, jobs=2, verify=1)
+    camp = CampaignSpec("t", [stub("ok_run", seed=s) for s in (0, 1, 2)])
+    result = ex.run(camp)
+    assert len(result.ok) == 3 and not result.failed
+    assert result.verified == 1
+    # artifact trail: manifest + runs.jsonl + per-run payloads
+    store = ex.store
+    manifest = store.load_manifest()
+    assert manifest["status"] == "complete"
+    assert manifest["totals"]["ok"] == 3
+    finals = store.final_records()
+    assert len(finals) == 3
+    for spec in camp.runs:
+        payload = json.loads(store.read_payload(spec.run_id))
+        assert payload["seed"] == spec.seed
+
+
+def test_crash_is_recorded_not_fatal(tmp_path):
+    ex = make_executor(tmp_path, jobs=2, retries=0)
+    camp = CampaignSpec("t", [stub("crash_run"), stub("ok_run")])
+    result = ex.run(camp)
+    assert len(result.ok) == 1 and len(result.failed) == 1
+    failed = result.failed[0]
+    assert failed.status == STATUS_FAILED
+    assert "injected crash" in failed.error
+    assert "RuntimeError" in failed.error  # full traceback captured
+
+
+def test_retry_then_succeed(tmp_path):
+    marker = tmp_path / "markers"
+    marker.mkdir()
+    ex = make_executor(tmp_path, jobs=1, retries=2)
+    camp = CampaignSpec(
+        "t", [stub("flaky_run", marker_dir=str(marker), fails=1)]
+    )
+    result = ex.run(camp)
+    rec = result.ok[0]
+    assert rec.status == STATUS_OK
+    assert rec.attempt == 2  # failed once, succeeded on the retry
+    payload = json.loads(result.payloads[rec.run_id])
+    assert payload["succeeded_on_attempt"] == 2
+    # runs.jsonl keeps the RETRYING attempt record too
+    attempts = [r.status for r in ex.store.records()]
+    assert attempts == [STATUS_RETRYING, STATUS_OK]
+
+
+def test_retries_exhausted_marks_failed(tmp_path):
+    ex = make_executor(tmp_path, jobs=1, retries=1)
+    camp = CampaignSpec("t", [stub("crash_run")])
+    result = ex.run(camp)
+    rec = result.failed[0]
+    assert rec.attempt == 2  # initial + 1 retry
+    assert [r.status for r in ex.store.records()] == [
+        STATUS_RETRYING,
+        STATUS_FAILED,
+    ]
+
+
+def test_timeout_marks_failed_and_campaign_survives(tmp_path):
+    ex = make_executor(tmp_path, jobs=2, retries=0, timeout=0.5)
+    camp = CampaignSpec(
+        "t", [stub("hang_run"), stub("ok_run", timeout=30.0)]
+    )
+    result = ex.run(camp)
+    assert len(result.ok) == 1
+    hung = result.failed[0]
+    assert "timeout" in hung.error
+    assert hung.experiment == "stub-hang_run"
+
+
+def test_all_slots_hung_pool_is_rebuilt(tmp_path):
+    # Two hangs saturate the 2-worker pool; the executor must write
+    # both slots off, rebuild, and still finish the remaining run.
+    ex = make_executor(tmp_path, jobs=2, retries=0, timeout=0.4)
+    camp = CampaignSpec(
+        "t",
+        [
+            stub("hang_run", seed=1),
+            stub("hang_run", seed=2),
+            stub("ok_run", seed=3, timeout=30.0),
+        ],
+    )
+    result = ex.run(camp)
+    assert len(result.failed) == 2
+    assert len(result.ok) == 1
+    assert json.loads(result.payloads[camp.runs[2].run_id])["seed"] == 3
+
+
+def test_second_campaign_run_is_all_cache_hits(tmp_path):
+    camp = CampaignSpec("t", [stub("ok_run", seed=s) for s in (0, 1)])
+    cold = make_executor(tmp_path, jobs=2).run(camp)
+    assert cold.cache_hit_ratio == 0.0
+    warm = make_executor(tmp_path, jobs=2).run(camp)
+    assert warm.cache_hit_ratio == 1.0
+    assert len(warm.ok) == 2
+    # byte-identical payloads across the cache boundary
+    for run_id, payload in cold.payloads.items():
+        assert warm.payloads[run_id] == payload
+
+
+def test_no_cache_recomputes(tmp_path):
+    camp = CampaignSpec("t", [stub("ok_run")])
+    make_executor(tmp_path, jobs=1).run(camp)
+    ex = make_executor(
+        tmp_path, jobs=1,
+        cache=ResultCache(tmp_path / "cache", enabled=False, source_token="t"),
+    )
+    result = ex.run(camp)
+    assert result.cache_hits == 0
+
+
+def test_failed_run_exit_is_not_cached(tmp_path):
+    camp = CampaignSpec("t", [stub("crash_run")])
+    make_executor(tmp_path, jobs=1).run(camp)
+    again = make_executor(tmp_path, jobs=1).run(camp)
+    # a FAILED run must be retried on the next campaign, not cached
+    assert again.cache_hits == 0
+    assert len(again.failed) == 1
+
+
+@pytest.mark.parametrize("jobs", [1, 3])
+def test_event_stream_counts(tmp_path, jobs):
+    events = []
+    ex = make_executor(
+        tmp_path, jobs=jobs,
+        on_event=lambda kind, **info: events.append(kind),
+    )
+    camp = CampaignSpec("t", [stub("ok_run", seed=s) for s in range(4)])
+    ex.run(camp)
+    assert events.count("start") == 4
+    assert events.count("ok") == 4
