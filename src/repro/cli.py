@@ -9,7 +9,10 @@ Subcommands:
 * ``export``                    — write trace artifacts for one run,
 * ``report``                    — regenerate the full evaluation,
 * ``campaign run|status|report`` — parallel, cached campaigns over
-  the whole experiment matrix (see :mod:`repro.campaign`).
+  the whole experiment matrix (see :mod:`repro.campaign`),
+* ``validate``                  — differential-oracle fuzzing of the
+  fluid-rate engine against the brute-force reference simulator
+  (see :mod:`repro.validate`).
 
 Examples::
 
@@ -18,6 +21,7 @@ Examples::
     repro-hpcsched run fig4 --param iterations=9 --param k=3
     repro-hpcsched campaign run paper-full --jobs 4
     repro-hpcsched campaign status campaigns/paper-full
+    repro-hpcsched validate --fuzz 50 --seed 0
 """
 
 from __future__ import annotations
@@ -122,6 +126,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="reduced iteration counts (fast smoke report)",
     )
     _add_campaign_parser(sub)
+    val = sub.add_parser(
+        "validate",
+        help="fuzz the fluid-rate engine against the brute-force "
+        "reference simulator (differential oracle)",
+    )
+    val.add_argument(
+        "--fuzz", type=int, default=25, metavar="N",
+        help="number of fuzzed scenarios (default 25)",
+    )
+    val.add_argument(
+        "--seed", type=int, default=0, help="fuzz campaign seed (default 0)"
+    )
+    val.add_argument(
+        "--dt", type=float, default=2e-5,
+        help="reference-simulator time quantum in seconds (default 2e-5)",
+    )
+    val.add_argument(
+        "--keep-going", action="store_true",
+        help="keep fuzzing past the first divergence",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list" or args.command is None:
@@ -136,6 +160,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _report(quick=args.quick)
     if args.command == "campaign":
         return _campaign(args)
+    if args.command == "validate":
+        return _validate(args)
     parser.print_help()
     return 1
 
@@ -338,6 +364,30 @@ def _campaign(args) -> int:
     )
     print(f"artifacts: {store.manifest_path} + {store.runs_path}")
     return 0 if not result.failed else 1
+
+
+def _validate(args) -> int:
+    """``validate``: fuzz scenarios through the differential oracle."""
+    from repro.validate import run_fuzz
+
+    def progress(case) -> None:
+        status = "ok" if case.ok else "DIVERGED"
+        refined = " (refined)" if case.refined else ""
+        print(
+            f"  [{case.index + 1:>3}/{args.fuzz}] {case.label:<16} "
+            f"{status}{refined}  events={case.events} "
+            f"exec={case.exec_time:.4f}s"
+        )
+
+    report = run_fuzz(
+        count=args.fuzz,
+        seed=args.seed,
+        dt=args.dt,
+        stop_on_divergence=not args.keep_going,
+        on_case=progress,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def _report(quick: bool = False) -> int:

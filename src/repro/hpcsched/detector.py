@@ -183,6 +183,8 @@ class LoadImbalanceDetector:
         util = st.close_iteration(now, task.sum_exec_runtime)
         if util is None:
             return
+        if self.kernel.oracles is not None:
+            self.kernel.oracles.on_iteration(task, util)
         self.kernel._trace(task, "iteration", index=st.iterations, util=util)
 
         if self.state == "frozen":
@@ -277,5 +279,7 @@ class LoadImbalanceDetector:
 
     # ------------------------------------------------------------------
     def _apply(self, task: "Task", priority: int) -> None:
+        if self.kernel.oracles is not None:
+            self.kernel.oracles.on_priority_apply(self, task, priority)
         self.mechanism.apply(self.kernel, task, priority)
         self.priority_changes += 1

@@ -16,6 +16,7 @@ event, which makes the fluid model exact.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Dict, Generator, Iterable, List, Optional
 
 from repro.kernel.fair import FairClass
@@ -82,6 +83,14 @@ class Kernel:
         self.classes: List[SchedClass] = [self.rt, self.fair, self.idle_class]
 
         self.balancer = LoadBalancer(self)
+
+        #: Runtime invariant oracles (repro.validate.invariants); None in
+        #: production so every hook site costs one attribute test.
+        self.oracles: Optional[Any] = None
+        if os.environ.get("REPRO_VALIDATE"):
+            from repro.validate.invariants import maybe_install
+
+            self.oracles = maybe_install(self)
 
         self.tasks: Dict[int, Task] = {}
         self._next_pid = 1
@@ -594,6 +603,8 @@ class Kernel:
         cur.sum_exec_runtime += delta
         cur.exec_start = self.sim.now
         cur.sched_class.account(rq, cur, delta)
+        if self.oracles is not None:
+            self.oracles.on_account(rq.cpu, cur, delta, self.sim.now)
 
     def _update_tick(self, cpu: int) -> None:
         rq = self.rqs[cpu]
@@ -656,6 +667,8 @@ class Kernel:
         the optional time horizon)."""
         end = self.sim.run(until=until, stop_when=lambda: self.live_tasks == 0)
         self.pmu.finalize(end)
+        if self.oracles is not None:
+            self.oracles.on_run_end(end)
         return end
 
     def _trace(self, task: Task, kind: str, **info) -> None:

@@ -110,6 +110,9 @@ class FairClass(SchedClass):
     # ------------------------------------------------------------------
     def account(self, rq: "RunQueue", task: "Task", delta: float) -> None:
         task.vruntime += delta * NICE_0_LOAD / nice_to_weight(task.nice)
+        oracles = self.kernel.oracles
+        if oracles is not None:
+            oracles.on_vruntime(task)
         self._update_min_vruntime(rq)
 
     def on_wakeup(self, task: "Task") -> None:
@@ -125,6 +128,9 @@ class FairClass(SchedClass):
         floor = q.min_vruntime - latency
         if task.vruntime < floor:
             task.vruntime = floor
+        oracles = self.kernel.oracles
+        if oracles is not None:
+            oracles.on_vruntime_placed(task)
 
     def task_tick(self, rq: "RunQueue", task: "Task") -> None:
         if self.nr_queued(rq) == 0:
@@ -181,3 +187,6 @@ class FairClass(SchedClass):
             candidates.append(cur.vruntime)
         if candidates:
             q.min_vruntime = max(q.min_vruntime, min(candidates))
+        oracles = self.kernel.oracles
+        if oracles is not None:
+            oracles.on_min_vruntime(rq.cpu, q.min_vruntime)

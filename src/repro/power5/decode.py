@@ -17,9 +17,42 @@ Special levels bypass the window arithmetic (paper §II-B):
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Tuple
 
 from repro.power5.priorities import HWPriority, PriorityError, coerce_priority
+
+#: Self-check flag (see :func:`enable_validation`); pre-armed by the
+#: ``REPRO_VALIDATE`` environment flag so even standalone decode calls
+#: are validated under a validation run.
+_VALIDATE = os.environ.get("REPRO_VALIDATE", "").strip() in (
+    "1", "true", "yes", "on",
+)
+
+_SHARE_EPS = 1e-12
+
+
+class DecodeShareError(AssertionError):
+    """The decode-share self-check caught invalid arbitration output."""
+
+
+def enable_validation() -> None:
+    """Turn on output self-checks for the decode arbitration functions.
+
+    With validation on, :func:`decode_cycles` verifies that the granted
+    cycles exactly fill the ``R``-cycle window and :func:`decode_shares`
+    verifies that both fractions lie in ``[0, 1]`` and sum to 1 (or to 0
+    when both contexts are off).  Called by
+    :func:`repro.validate.invariants.install`.
+    """
+    global _VALIDATE
+    _VALIDATE = True
+
+
+def disable_validation() -> None:
+    """Turn off the output self-checks (see :func:`enable_validation`)."""
+    global _VALIDATE
+    _VALIDATE = False
 
 #: Fraction of decode bandwidth a priority-1 ("background") context scavenges
 #: when the foreground sibling is busy.  The architecture gives a background
@@ -59,10 +92,17 @@ def decode_cycles(prio_a: int, prio_b: int) -> Tuple[int, int]:
     """
     r = decode_window(prio_a, prio_b)
     if prio_a == prio_b:
-        return (1, 1)
-    if prio_a > prio_b:
-        return (r - 1, 1)
-    return (1, r - 1)
+        pair = (1, 1)
+    elif prio_a > prio_b:
+        pair = (r - 1, 1)
+    else:
+        pair = (1, r - 1)
+    if _VALIDATE and pair[0] + pair[1] != r:
+        raise DecodeShareError(
+            f"decode cycles {pair} for priorities ({prio_a}, {prio_b}) "
+            f"do not fill the R={r} window"
+        )
+    return pair
 
 
 def decode_shares(prio_a: int, prio_b: int) -> Tuple[float, float]:
@@ -72,7 +112,13 @@ def decode_shares(prio_a: int, prio_b: int) -> Tuple[float, float]:
     docstring, then falls back to the Table I window arithmetic.
     """
     pa, pb = coerce_priority(prio_a), coerce_priority(prio_b)
+    pair = _shares(pa, pb)
+    if _VALIDATE:
+        _check_shares(pa, pb, pair)
+    return pair
 
+
+def _shares(pa: HWPriority, pb: HWPriority) -> Tuple[float, float]:
     if pa == HWPriority.THREAD_OFF and pb == HWPriority.THREAD_OFF:
         return (0.0, 0.0)
     if pa == HWPriority.THREAD_OFF:
@@ -98,6 +144,28 @@ def decode_shares(prio_a: int, prio_b: int) -> Tuple[float, float]:
     ca, cb = decode_cycles(pa, pb)
     r = ca + cb
     return (ca / r, cb / r)
+
+
+def _check_shares(
+    pa: HWPriority, pb: HWPriority, pair: Tuple[float, float]
+) -> None:
+    fa, fb = pair
+    if not (0.0 <= fa <= 1.0 and 0.0 <= fb <= 1.0):
+        raise DecodeShareError(
+            f"decode shares {pair} for priorities ({int(pa)}, {int(pb)}) "
+            "outside [0, 1]"
+        )
+    total = fa + fb
+    expect = (
+        0.0
+        if pa == HWPriority.THREAD_OFF and pb == HWPriority.THREAD_OFF
+        else 1.0
+    )
+    if abs(total - expect) > _SHARE_EPS:
+        raise DecodeShareError(
+            f"decode shares {pair} for priorities ({int(pa)}, {int(pb)}) "
+            f"sum to {total}, expected {expect}"
+        )
 
 
 def _check_normal(prio: HWPriority) -> None:

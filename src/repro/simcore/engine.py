@@ -34,6 +34,9 @@ class Simulator:
         self.events_processed = 0
         self._running = False
         self._stop_requested = False
+        #: Optional runtime oracle (repro.validate.invariants); receives
+        #: every delivered event when validation is enabled.
+        self.oracle: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Scheduling API
@@ -84,6 +87,8 @@ class Simulator:
                 f"event limit {self.max_events} exceeded at t={self.now}: "
                 "likely a zero-delay event livelock"
             )
+        if self.oracle is not None:
+            self.oracle.on_event(ev)
         ev.fn()
         return True
 

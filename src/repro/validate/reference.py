@@ -1,0 +1,301 @@
+"""A brute-force small-step reference simulator for the fluid engine.
+
+The production engine (:mod:`repro.kernel.core_sched`) is *event
+driven*: a compute phase of ``W`` work at rate ``r`` completes at
+``t + W/r``, and every rate change banks accrued progress and
+reschedules the completion event.  That is fast and exact — if the
+banking arithmetic and the event plumbing are right.
+
+This module is the oracle for that "if".  :class:`ReferenceSimulator`
+integrates the same scenario with a **fixed time quantum** ``dt`` and no
+shortcuts whatsoever:
+
+* every quantum, each running task's rate is recomputed from the live
+  SMT state of its core (same :mod:`repro.power5.perfmodel` tables — the
+  pure rate *functions* are unit-tested against the paper separately;
+  what differs here is the *engine* around them),
+* progress advances by ``rate * dt``; sleeps burn down by ``dt``,
+* op transitions (phase completion, sleep expiry, priority writes,
+  barrier releases) happen only at quantum boundaries.
+
+Nothing is banked, nothing is rescheduled, there is no event queue to
+get wrong.  The price is an ``O(dt)`` quantization error per transition,
+which the differential harness bounds explicitly; the payoff is an
+implementation simple enough to be verified by eye.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.validate.scenario import (
+    BarrierOp,
+    ComputeOp,
+    Scenario,
+    SetPrioOp,
+    SleepOp,
+    profile_by_name,
+)
+
+#: Work/time remainders below this count as finished (float dust; the
+#: fluid engine uses the same notion for banked remainders).
+_EPSILON = 1e-12
+
+# Task states recorded in the reference state-interval trace.
+RUN = "RUN"
+SLEEP = "SLEEP"
+WAIT = "WAIT"
+DONE = "DONE"
+
+
+@dataclass
+class _RefTask:
+    """Mutable interpreter state of one scenario task."""
+
+    name: str
+    cpu: int
+    ops: tuple
+    profile: object
+    priority: int
+    op_index: int = 0
+    phase_remaining: float = 0.0
+    sleep_remaining: float = 0.0
+    state: str = RUN
+    log: List[Tuple[int, float]] = field(default_factory=list)
+    intervals: List[Tuple[str, float, float]] = field(default_factory=list)
+    _state_since: float = 0.0
+
+    @property
+    def done(self) -> bool:
+        return self.state == DONE
+
+    @property
+    def running(self) -> bool:
+        return self.state == RUN
+
+    def set_state(self, state: str, now: float) -> None:
+        if state == self.state:
+            return
+        if now > self._state_since:
+            self.intervals.append((self.state, self._state_since, now))
+        self.state = state
+        self._state_since = now
+
+    def close_intervals(self, now: float) -> None:
+        if now > self._state_since:
+            self.intervals.append((self.state, self._state_since, now))
+            self._state_since = now
+
+
+@dataclass
+class ReferenceResult:
+    """Event logs + state traces of one reference run."""
+
+    logs: Dict[str, List[Tuple[int, float]]]
+    intervals: Dict[str, List[Tuple[str, float, float]]]
+    exec_time: float
+    steps: int
+    deadlocked: Tuple[str, ...] = ()
+
+
+class ReferenceDeadlock(RuntimeError):
+    """The scenario can never finish (mismatched barrier arrivals)."""
+
+
+class ReferenceSimulator:
+    """Fixed-quantum interpreter for a :class:`Scenario`."""
+
+    def __init__(self, scenario: Scenario, dt: float = 2e-5) -> None:
+        if dt <= 0:
+            raise ValueError(f"non-positive quantum {dt}")
+        scenario.validate()
+        self.scenario = scenario
+        self.dt = dt
+        self.now = 0.0
+        self.steps = 0
+        self.tasks: List[_RefTask] = [
+            _RefTask(
+                name=spec.name,
+                cpu=spec.cpu,
+                ops=tuple(spec.ops),
+                profile=profile_by_name(spec.profile),
+                priority=spec.hw_priority,
+            )
+            for spec in scenario.tasks
+        ]
+        self._by_cpu: Dict[int, _RefTask] = {t.cpu: t for t in self.tasks}
+        #: barrier group -> list of tasks currently arrived and waiting.
+        self._arrived: Dict[int, List[_RefTask]] = {}
+        self._group_sizes: Dict[int, int] = {}
+        for spec in scenario.tasks:
+            for op in spec.ops:
+                if isinstance(op, BarrierOp):
+                    self._group_sizes.setdefault(op.group, 0)
+        for group in self._group_sizes:
+            self._group_sizes[group] = sum(
+                1
+                for spec in scenario.tasks
+                if any(
+                    isinstance(op, BarrierOp) and op.group == group
+                    for op in spec.ops
+                )
+            )
+        from repro.power5.perfmodel import TableDrivenModel
+
+        self.perf_model = TableDrivenModel()
+        self._rate_cache: Dict[Tuple, float] = {}
+
+    # ------------------------------------------------------------------
+    # SMT state mirror
+    # ------------------------------------------------------------------
+    def _sibling_cpu(self, cpu: int) -> int:
+        return cpu ^ 1  # contexts are laid out pairwise, 2 per core
+
+    def _rate(self, task: _RefTask) -> float:
+        sib = self._by_cpu.get(self._sibling_cpu(task.cpu))
+        sib_busy = sib is not None and sib.running
+        sib_prio = sib.priority if sib_busy else 0
+        key = (id(task.profile), task.priority, sib_prio, sib_busy)
+        rate = self._rate_cache.get(key)
+        if rate is None:
+            rate = self.perf_model.speed(
+                task.profile,
+                own_priority=task.priority,
+                sibling_priority=sib_prio if sib_busy else task.priority,
+                sibling_busy=sib_busy,
+            )
+            self._rate_cache[key] = rate
+        return rate
+
+    # ------------------------------------------------------------------
+    # Zero-time transition settling
+    # ------------------------------------------------------------------
+    def _begin_op(self, task: _RefTask) -> None:
+        """Load the interpreter state for the task's current op."""
+        if task.op_index >= len(task.ops):
+            task.set_state(DONE, self.now)
+            return
+        op = task.ops[task.op_index]
+        if isinstance(op, ComputeOp):
+            if op.work <= _EPSILON:
+                # The fluid engine skips empty phases without blocking.
+                self._complete_op(task)
+                return
+            task.phase_remaining = op.work
+            task.set_state(RUN, self.now)
+        elif isinstance(op, SleepOp):
+            if op.duration <= _EPSILON:
+                self._complete_op(task)
+                return
+            task.sleep_remaining = op.duration
+            task.set_state(SLEEP, self.now)
+        elif isinstance(op, BarrierOp):
+            waiting = self._arrived.setdefault(op.group, [])
+            waiting.append(task)
+            if len(waiting) >= self._group_sizes[op.group]:
+                # Copy-then-clear: completing a member may re-arrive at
+                # this same group (next round) and must land in a fresh
+                # arrival list, not the one being drained.
+                members = list(waiting)
+                waiting.clear()
+                for member in members:
+                    self._complete_op(member)
+            else:
+                task.set_state(WAIT, self.now)
+        elif isinstance(op, SetPrioOp):
+            task.priority = op.priority
+            self._complete_op(task)
+        else:  # pragma: no cover - scenario.validate rejects these
+            raise TypeError(f"unknown op {op!r}")
+
+    def _complete_op(self, task: _RefTask) -> None:
+        task.log.append((task.op_index, self.now))
+        task.op_index += 1
+        task.phase_remaining = 0.0
+        task.sleep_remaining = 0.0
+        if task.op_index >= len(task.ops):
+            task.set_state(DONE, self.now)
+        else:
+            task.set_state(RUN, self.now)
+            self._begin_op(task)
+
+    def _settle(self) -> None:
+        """Complete every compute phase that reached zero at ``now``."""
+        for task in self.tasks:
+            if task.running and task.op_index < len(task.ops):
+                op = task.ops[task.op_index]
+                if isinstance(op, ComputeOp) and task.phase_remaining <= _EPSILON:
+                    self._complete_op(task)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, max_steps: Optional[int] = None) -> ReferenceResult:
+        """Integrate until every task finished its program."""
+        if max_steps is None:
+            max_steps = self._default_step_budget()
+        # Boot: every task starts its first op at t = 0.
+        for task in self.tasks:
+            self._begin_op(task)
+        dt = self.dt
+        while not all(t.done for t in self.tasks):
+            if self.steps >= max_steps:
+                stuck = tuple(t.name for t in self.tasks if not t.done)
+                if all(t.state in (WAIT, DONE) for t in self.tasks):
+                    raise ReferenceDeadlock(
+                        f"barrier deadlock: {stuck} wait forever"
+                    )
+                raise RuntimeError(
+                    f"step budget {max_steps} exhausted at t={self.now:.6f} "
+                    f"(unfinished: {stuck})"
+                )
+            # Deadlock fast-path: nobody can make progress without time
+            # advancing, and nothing is consuming time.
+            if all(t.state in (WAIT, DONE) for t in self.tasks):
+                stuck = tuple(t.name for t in self.tasks if not t.done)
+                raise ReferenceDeadlock(f"barrier deadlock: {stuck} wait forever")
+            for task in self.tasks:
+                if task.running:
+                    op = task.ops[task.op_index]
+                    if isinstance(op, ComputeOp):
+                        task.phase_remaining -= self._rate(task) * dt
+                elif task.state == SLEEP:
+                    task.sleep_remaining -= dt
+                    if task.sleep_remaining <= _EPSILON:
+                        # expire at the boundary we are about to reach
+                        task.sleep_remaining = 0.0
+            self.now += dt
+            self.steps += 1
+            # Boundary transitions: expired sleeps resume, finished
+            # phases complete; both may cascade (zero-work ops,
+            # barrier releases) inside _complete_op/_begin_op.
+            for task in self.tasks:
+                if task.state == SLEEP and task.sleep_remaining <= _EPSILON:
+                    self._complete_op(task)
+            self._settle()
+        exec_time = self.now
+        for task in self.tasks:
+            task.close_intervals(exec_time)
+        return ReferenceResult(
+            logs={t.name: list(t.log) for t in self.tasks},
+            intervals={t.name: list(t.intervals) for t in self.tasks},
+            exec_time=exec_time,
+            steps=self.steps,
+        )
+
+    # ------------------------------------------------------------------
+    def _default_step_budget(self) -> int:
+        """Generous upper bound on quanta: total work at the slowest
+        modeled rate plus all sleeps, with slack for quantization."""
+        work = 0.0
+        sleeps = 0.0
+        for spec in self.scenario.tasks:
+            for op in spec.ops:
+                if isinstance(op, ComputeOp):
+                    work += op.work
+                elif isinstance(op, SleepOp):
+                    sleeps += op.duration
+        slowest_rate = 0.1  # below every table entry's minimum speed
+        horizon = work / slowest_rate + sleeps + 1.0
+        return int(horizon / self.dt) + self.scenario.total_ops() * 4 + 64

@@ -12,6 +12,16 @@ from repro.power5.perfmodel import CPU_BOUND, TableDrivenModel
 from repro.trace.collector import TraceCollector
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/data/goldens.json from the current behaviour "
+        "instead of asserting against it",
+    )
+
+
 @pytest.fixture
 def kernel() -> Kernel:
     """A kernel on the paper's machine with tracing enabled."""

@@ -137,6 +137,7 @@ def siesta_matrix():
     }
 
 
+@pytest.mark.slow
 def test_siesta_improvement_band(siesta_matrix):
     base = siesta_matrix["cfs"]
     for sched in ("uniform", "adaptive"):
@@ -144,6 +145,7 @@ def test_siesta_improvement_band(siesta_matrix):
         assert 3.0 < gain < 9.0, f"{sched}: {gain}"
 
 
+@pytest.mark.slow
 def test_siesta_utilizations_barely_move(siesta_matrix):
     """The paper's key negative result: HPCSched cannot balance SIESTA;
     the gain is latency, not balance."""
@@ -155,6 +157,7 @@ def test_siesta_utilizations_barely_move(siesta_matrix):
         )
 
 
+@pytest.mark.slow
 def test_siesta_latency_collapses_under_hpcsched(siesta_matrix):
     base = siesta_matrix["cfs"]
     uni = siesta_matrix["uniform"]
@@ -162,6 +165,7 @@ def test_siesta_latency_collapses_under_hpcsched(siesta_matrix):
     assert uni.max_wakeup_latency < base.max_wakeup_latency
 
 
+@pytest.mark.slow
 def test_siesta_priorities_flap_without_effect(siesta_matrix):
     """Iteration i does not predict i+1: many priority changes, no
     balance improvement (paper §V-D)."""

@@ -116,9 +116,9 @@ def test_payloads_do_not_break_full_experiments():
     """Regression guard: the send()-based driver must leave the golden
     behaviour untouched."""
     from repro.experiments import metbench
-    from tests.test_goldens import GOLDEN_EXEC_TIMES
+    from tests.test_goldens import _load_goldens
 
     res = metbench.run_one("cfs", iterations=8, keep_trace=False)
     assert res.exec_time == pytest.approx(
-        GOLDEN_EXEC_TIMES["metbench_cfs"], rel=1e-9
+        _load_goldens()["metbench_cfs"], rel=1e-9
     )

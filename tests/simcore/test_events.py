@@ -112,3 +112,68 @@ def test_property_cancellation_removes_exactly_the_cancelled(entries, cancel_idx
     while q.pop() is not None:
         popped += 1
     assert popped == surviving
+
+
+# ----------------------------------------------------------------------
+# Interleaved push/cancel/pop against a reference model
+# ----------------------------------------------------------------------
+#: Times drawn from a tiny pool so timestamp ties (the FIFO-critical
+#: case) occur constantly; priorities likewise.
+_interleavings = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("push"),
+            st.sampled_from([0.0, 1.0, 1.0, 2.0, 2.5]),
+            st.sampled_from([0, 0, 1, 2]),
+        ),
+        st.tuples(st.just("cancel"), st.integers(0, 150)),
+        st.tuples(st.just("pop")),
+    ),
+    min_size=1,
+    max_size=150,
+)
+
+
+@given(_interleavings)
+def test_property_interleaved_ops_match_reference_model(ops):
+    """Arbitrary push/cancel/pop interleavings: the queue must behave
+    exactly like a sorted list keyed by (time, priority, arrival index)
+    with cancelled entries dropped — i.e. equal-timestamp events keep
+    stable FIFO order and a cancelled event is never delivered."""
+    q = EventQueue()
+    handles = []  # real Event handles, in push order
+    model = []  # [(time, priority, arrival), ...] still pending
+    cancelled = set()  # arrival indices cancelled
+
+    for op in ops:
+        if op[0] == "push":
+            _, t, prio = op
+            arrival = len(handles)
+            handles.append(q.push(t, lambda: None, priority=prio))
+            model.append((t, prio, arrival))
+        elif op[0] == "cancel":
+            _, i = op
+            if i < len(handles):
+                handles[i].cancel()
+                cancelled.add(i)
+        else:  # pop
+            live = sorted(e for e in model if e[2] not in cancelled)
+            got = q.pop()
+            if not live:
+                assert got is None
+                model.clear()
+                continue
+            expect = live[0]
+            assert got is not None and not got.cancelled
+            assert (got.time, got.priority) == (expect[0], expect[1])
+            assert handles[expect[2]] is got  # FIFO among full ties
+            model.remove(expect)
+
+    # Drain: the remainder must come out in model order, no cancelled
+    # event ever surfacing.
+    rest = sorted(e for e in model if e[2] not in cancelled)
+    while (ev := q.pop()) is not None:
+        expect = rest.pop(0)
+        assert not ev.cancelled
+        assert handles[expect[2]] is ev
+    assert not rest

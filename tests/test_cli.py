@@ -33,6 +33,7 @@ def test_run_unknown_experiment(capsys):
     assert "unknown experiment" in capsys.readouterr().err
 
 
+@pytest.mark.slow
 def test_report_quick(capsys):
     assert main(["report", "--quick"]) == 0
     out = capsys.readouterr().out

@@ -1,59 +1,76 @@
 """Regression goldens: exact pins against behavioural drift.
 
 The simulation is fully deterministic, so reduced-size experiment
-results can be pinned to high precision.  A failure here means the
-*behaviour* of the scheduler/model changed — which may be intentional
-(recalibration), in which case regenerate the constants with::
+results can be pinned to high precision across the full workload x
+scheduler matrix.  A failure here means the *behaviour* of the
+scheduler/model changed — which may be intentional (recalibration), in
+which case regenerate the stored goldens with::
 
-    python -c "import tests.test_goldens as g; g.regenerate()"
+    pytest tests/test_goldens.py --update-goldens
 
-and review the diff together with the benchmark shape assertions.
+and review the resulting ``tests/data/goldens.json`` diff together with
+the benchmark shape assertions.
 """
+
+import json
+from pathlib import Path
 
 import pytest
 
 from repro.experiments import btmz, metbench, metbenchvar, siesta
 
-#: (runner, scheduler, kwargs) per golden key.
-CASES = {
-    "metbench_cfs": (metbench.run_one, "cfs", {"iterations": 8}),
-    "metbench_uniform": (metbench.run_one, "uniform", {"iterations": 8}),
-    "metbenchvar_uniform": (
-        metbenchvar.run_one, "uniform", {"iterations": 9, "k": 3},
-    ),
-    "btmz_cfs": (btmz.run_one, "cfs", {"iterations": 20}),
-    "btmz_adaptive": (btmz.run_one, "adaptive", {"iterations": 20}),
-    "siesta_cfs": (siesta.run_one, "cfs", {"scf_steps": 3}),
-    "siesta_uniform": (siesta.run_one, "uniform", {"scf_steps": 3}),
+GOLDENS_PATH = Path(__file__).parent / "data" / "goldens.json"
+
+#: workload -> (runner, reduced-size kwargs).
+WORKLOADS = {
+    "metbench": (metbench.run_one, {"iterations": 8}),
+    "metbenchvar": (metbenchvar.run_one, {"iterations": 9, "k": 3}),
+    "btmz": (btmz.run_one, {"iterations": 20}),
+    "siesta": (siesta.run_one, {"scf_steps": 3}),
 }
 
-GOLDEN_EXEC_TIMES = {
-    "metbench_cfs": 14.538995952380949,
-    "metbench_uniform": 13.115429400656815,
-    "metbenchvar_uniform": 67.70751897192518,
-    "btmz_cfs": 9.552087411729325,
-    "btmz_adaptive": 8.120035184386776,
-    "siesta_cfs": 13.299036859097328,
-    "siesta_uniform": 12.51394375364701,
+#: The paper's four scheduling configurations (§V): vanilla CFS, the
+#: static per-rank assignment, uniform HPC priorities, and the adaptive
+#: load-imbalance detector.
+SCHEDULERS = ("cfs", "static", "uniform", "adaptive")
+
+CASES = {
+    f"{workload}_{scheduler}": (runner, scheduler, kwargs)
+    for workload, (runner, kwargs) in WORKLOADS.items()
+    for scheduler in SCHEDULERS
 }
+
+
+def _load_goldens() -> dict:
+    if not GOLDENS_PATH.exists():
+        return {}
+    return json.loads(GOLDENS_PATH.read_text())
 
 
 @pytest.mark.parametrize("key", sorted(CASES))
-def test_golden(key):
+def test_golden(key, request):
     runner, scheduler, kwargs = CASES[key]
     result = runner(scheduler, keep_trace=False, **kwargs)
-    assert result.exec_time == pytest.approx(
-        GOLDEN_EXEC_TIMES[key], rel=1e-9
-    ), (
+    if request.config.getoption("--update-goldens"):
+        goldens = _load_goldens()
+        goldens[key] = result.exec_time
+        GOLDENS_PATH.write_text(
+            json.dumps(dict(sorted(goldens.items())), indent=2) + "\n"
+        )
+        pytest.skip(f"golden updated: {key} = {result.exec_time!r}")
+    goldens = _load_goldens()
+    assert key in goldens, (
+        f"no stored golden for {key}; generate it with "
+        "pytest tests/test_goldens.py --update-goldens"
+    )
+    assert result.exec_time == pytest.approx(goldens[key], rel=1e-9), (
         f"{key}: behaviour changed "
-        f"({result.exec_time!r} != {GOLDEN_EXEC_TIMES[key]!r}); "
+        f"({result.exec_time!r} != {goldens[key]!r}); "
         "if intentional, regenerate the goldens (see module docstring)"
     )
 
 
-def regenerate():  # pragma: no cover - maintenance helper
-    print("GOLDEN_EXEC_TIMES = {")
-    for key, (runner, scheduler, kwargs) in CASES.items():
-        result = runner(scheduler, keep_trace=False, **kwargs)
-        print(f"    {key!r}: {result.exec_time!r},")
-    print("}")
+def test_goldens_file_matches_the_case_matrix():
+    """The stored file tracks the matrix exactly — no stale keys."""
+    goldens = _load_goldens()
+    assert set(goldens) == set(CASES)

@@ -1,0 +1,146 @@
+"""Unit tests for the small-step reference simulator."""
+
+import pytest
+
+from repro.power5.perfmodel import TableDrivenModel
+from repro.validate.reference import ReferenceSimulator
+from repro.validate.scenario import (
+    BarrierOp,
+    ComputeOp,
+    Scenario,
+    SetPrioOp,
+    SleepOp,
+    TaskSpec,
+    profile_by_name,
+)
+
+DT = 1e-5
+
+
+def scenario(*tasks, **kw):
+    return Scenario(tasks=tuple(tasks), **kw)
+
+
+def test_single_compute_matches_closed_form():
+    """One task alone on its core runs at the ST rate; completion is
+    work/rate, quantized up to at most one quantum."""
+    work = 0.01
+    s = scenario(TaskSpec("A", 0, (ComputeOp(work),)))
+    res = ReferenceSimulator(s, dt=DT).run()
+    rate = TableDrivenModel().speed(
+        profile_by_name("cpu_bound"),
+        own_priority=4,
+        sibling_priority=4,
+        sibling_busy=False,
+    )
+    expected = work / rate
+    assert expected <= res.exec_time <= expected + 2 * DT
+    assert res.logs["A"] == [(0, pytest.approx(res.exec_time))]
+
+
+def test_sleep_duration_is_exact_to_one_quantum():
+    s = scenario(TaskSpec("A", 0, (SleepOp(0.001),)))
+    res = ReferenceSimulator(s, dt=DT).run()
+    assert 0.001 - 1e-12 <= res.exec_time <= 0.001 + 2 * DT
+
+
+def test_zero_work_ops_complete_immediately():
+    """Empty compute phases and zero sleeps must not consume a quantum
+    (mirrors the fluid engine skipping empty phases)."""
+    s = scenario(
+        TaskSpec("A", 0, (ComputeOp(0.0), SleepOp(0.0), ComputeOp(0.001)))
+    )
+    res = ReferenceSimulator(s, dt=DT).run()
+    log = dict(res.logs["A"])
+    assert log[0] == 0.0
+    assert log[1] == 0.0
+    assert log[2] > 0.0
+
+
+def test_barrier_releases_all_members_at_last_arrival():
+    s = scenario(
+        TaskSpec("A", 0, (ComputeOp(0.002), BarrierOp(0))),
+        TaskSpec("B", 2, (ComputeOp(0.02), BarrierOp(0))),
+    )
+    res = ReferenceSimulator(s, dt=DT).run()
+    a_barrier = dict(res.logs["A"])[1]
+    b_barrier = dict(res.logs["B"])[1]
+    assert a_barrier == b_barrier  # released at the same instant
+    assert a_barrier >= dict(res.logs["B"])[0]  # not before B arrived
+
+
+def test_sibling_contention_slows_both_tasks():
+    """Two tasks sharing a core must each run slower than alone."""
+    work = 0.01
+    alone = ReferenceSimulator(
+        scenario(TaskSpec("A", 0, (ComputeOp(work),))), dt=DT
+    ).run()
+    paired = ReferenceSimulator(
+        scenario(
+            TaskSpec("A", 0, (ComputeOp(work),)),
+            TaskSpec("B", 1, (ComputeOp(work),)),
+        ),
+        dt=DT,
+    ).run()
+    assert dict(paired.logs["A"])[0] > dict(alone.logs["A"])[0]
+
+
+def test_priority_write_speeds_up_the_writer():
+    """Raising own priority against a sibling raises own rate."""
+    base = scenario(
+        TaskSpec("A", 0, (ComputeOp(0.01),), hw_priority=4),
+        TaskSpec("B", 1, (ComputeOp(0.05),), hw_priority=4),
+    )
+    boosted = scenario(
+        TaskSpec("A", 0, (SetPrioOp(6), ComputeOp(0.01)), hw_priority=4),
+        TaskSpec("B", 1, (ComputeOp(0.05),), hw_priority=4),
+    )
+    t_base = dict(ReferenceSimulator(base, dt=DT).run().logs["A"])[0]
+    t_boost = dict(ReferenceSimulator(boosted, dt=DT).run().logs["A"])[1]
+    assert t_boost < t_base
+
+
+def test_state_intervals_partition_the_run():
+    """Each task's interval trace must tile [0, exec_time] contiguously."""
+    s = scenario(
+        TaskSpec("A", 0, (ComputeOp(0.004), SleepOp(0.001), ComputeOp(0.002))),
+        TaskSpec("B", 2, (SleepOp(0.002), ComputeOp(0.004))),
+    )
+    res = ReferenceSimulator(s, dt=DT).run()
+    for name, intervals in res.intervals.items():
+        assert intervals[0][1] == 0.0
+        for (_, _, end), (_, start, _) in zip(intervals, intervals[1:]):
+            assert end == start
+        assert intervals[-1][2] == pytest.approx(res.exec_time)
+
+
+def test_mismatched_barrier_counts_rejected():
+    s = scenario(
+        TaskSpec("A", 0, (BarrierOp(0), BarrierOp(0))),
+        TaskSpec("B", 1, (BarrierOp(0),)),
+    )
+    with pytest.raises(ValueError, match="mismatched arrival counts"):
+        ReferenceSimulator(s, dt=DT)
+
+
+def test_invalid_quantum_rejected():
+    s = scenario(TaskSpec("A", 0, (ComputeOp(0.001),)))
+    with pytest.raises(ValueError):
+        ReferenceSimulator(s, dt=0.0)
+
+
+def test_halving_dt_halves_quantization_error():
+    """The reference's error against the fluid engine's exact result
+    must shrink roughly linearly with dt (it is first-order)."""
+    from repro.validate.scenario import build_kernel_run
+
+    s = scenario(
+        TaskSpec("A", 0, (ComputeOp(0.01),), "mixed", 5),
+        TaskSpec("B", 1, (ComputeOp(0.02),), "cpu_bound", 3),
+    )
+    exact = dict(build_kernel_run(s).logs["A"])[0]
+    err = []
+    for dt in (4e-5, 2e-5, 1e-5):
+        got = dict(ReferenceSimulator(s, dt=dt).run().logs["A"])[0]
+        err.append(abs(got - exact))
+    assert err[0] > err[2]  # strictly improving over a 4x dt range
