@@ -1,33 +1,35 @@
 """Simulator performance: wall cost of the simulation itself.
 
 Not a paper artifact — a guard against performance regressions in the
-engine.  Measures (a) raw event throughput and (b) the full MetBench
-experiment, and asserts the NOHZ/fluid-rate design keeps the event
-count per simulated second low.
+engine.  Measures (a) raw event throughput through a single
+self-rescheduling chain, (b) throughput with a deep heap (512 staggered
+chains, the shape of a real kernel's event queue), and (c) the full
+MetBench experiment, asserting the NOHZ/fluid-rate design keeps the
+event count per simulated second low.
+
+The storm workloads live in :mod:`repro.bench.scenarios` and are shared
+with the ``repro bench`` harness, so the numbers recorded in
+``BENCH_<label>.json`` measure exactly the code benchmarked here.
 """
 
+from repro.bench.scenarios import event_storm_chain, event_storm_deep
 from repro.experiments.common import run_experiment
-from repro.simcore.engine import Simulator
 from repro.workloads.metbench import MetBench
-
-
-def _event_storm(n: int = 200_000) -> int:
-    sim = Simulator()
-
-    def chain(i=0):
-        if i < n:
-            sim.after(1e-6, lambda: chain(i + 1))
-
-    chain()
-    sim.run()
-    return sim.events_processed
 
 
 def test_event_throughput(benchmark):
     processed = benchmark.pedantic(
-        _event_storm, rounds=1, iterations=1
+        event_storm_chain, rounds=1, iterations=1
     )
     assert processed == 200_000
+
+
+def test_event_throughput_deep_heap(benchmark):
+    processed = benchmark.pedantic(
+        event_storm_deep, rounds=1, iterations=1
+    )
+    # 512 chains x (200_000 // 512) hops each
+    assert processed == 512 * (200_000 // 512)
 
 
 def test_metbench_simulation_cost(benchmark):

@@ -1,0 +1,32 @@
+"""Performance benchmark harness (``repro bench``).
+
+Measures the repository's own simulation cost — raw event throughput of
+the discrete-event engine plus the wall cost of the paper experiments —
+and records the results in schema-versioned ``BENCH_<label>.json`` files
+so the perf trajectory is tracked alongside the code.  See
+:mod:`repro.bench.harness` for the measurement methodology and
+:mod:`repro.bench.scenarios` for the workloads.
+"""
+
+from repro.bench.harness import (
+    SCHEMA_VERSION,
+    BenchReport,
+    compare_reports,
+    find_baseline,
+    load_report,
+    run_suite,
+    write_report,
+)
+from repro.bench.scenarios import event_storm_chain, event_storm_deep
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchReport",
+    "compare_reports",
+    "event_storm_chain",
+    "event_storm_deep",
+    "find_baseline",
+    "load_report",
+    "run_suite",
+    "write_report",
+]

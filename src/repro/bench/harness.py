@@ -1,0 +1,304 @@
+"""Measurement harness behind ``repro bench``.
+
+A bench run executes a fixed suite of workloads — the synthetic event
+storms from :mod:`repro.bench.scenarios` plus the paper's MetBench
+experiment under several schedulers — and records, per benchmark, the
+best wall time over ``rounds`` repetitions, the number of simulation
+events processed, and the derived events/sec throughput.  The whole
+report (plus the process peak RSS) is written to a schema-versioned
+``BENCH_<label>.json`` so successive runs can be diffed.
+
+Methodology notes:
+
+* **Best-of-N wall time.**  Shared machines are noisy; the minimum over
+  N rounds is the least-contended observation and the most stable
+  statistic for regression detection.  ``gc.collect()`` runs between
+  rounds so collector debt from one round is not billed to the next.
+* **Identical storm sizes in quick and full mode.**  ``--quick`` only
+  trims the experiment suite and the round count, never the storm event
+  counts, so throughput numbers stay comparable across modes.
+* **Parameter-checked comparisons.**  Every benchmark records its
+  parameters; :func:`compare_reports` only diffs entries whose name
+  *and* parameters match, so a quick report diffed against a full
+  baseline silently skips the non-comparable experiment entries instead
+  of producing nonsense ratios.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bench.scenarios import (
+    DEFAULT_STORM_CHAINS,
+    DEFAULT_STORM_EVENTS,
+    event_storm_chain,
+    event_storm_deep,
+)
+
+#: Bump on any incompatible change to the report layout.
+SCHEMA_VERSION = 1
+
+#: Default regression threshold: fail when a benchmark's events/sec
+#: drops more than this fraction below the baseline.
+DEFAULT_THRESHOLD = 0.20
+
+
+@dataclass
+class BenchRecord:
+    """One benchmark's measurement."""
+
+    name: str
+    wall_s: float  # best wall time over all rounds
+    events: int  # simulation events processed in one round
+    events_per_sec: float
+    rounds: int
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form of this record."""
+        return {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "events": self.events,
+            "events_per_sec": self.events_per_sec,
+            "rounds": self.rounds,
+            "params": self.params,
+        }
+
+
+@dataclass
+class BenchReport:
+    """A full bench run: metadata plus one record per benchmark."""
+
+    label: str
+    quick: bool
+    records: Dict[str, BenchRecord] = field(default_factory=dict)
+    peak_rss_kb: Optional[int] = None
+    created: Optional[str] = None
+    vs_baseline: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form: schema header, metadata, benchmark table."""
+        out: Dict[str, object] = {
+            "schema": SCHEMA_VERSION,
+            "label": self.label,
+            "quick": self.quick,
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "peak_rss_kb": self.peak_rss_kb,
+            "benchmarks": {n: r.to_dict() for n, r in self.records.items()},
+        }
+        if self.created:
+            out["created"] = self.created
+        if self.vs_baseline:
+            out["vs_baseline"] = self.vs_baseline
+        return out
+
+
+def _measure(fn: Callable[[], int], rounds: int) -> Tuple[float, int]:
+    """Best wall time over ``rounds`` calls, plus the event count."""
+    best = float("inf")
+    events = 0
+    for _ in range(max(1, rounds)):
+        gc.collect()
+        t0 = time.perf_counter()
+        events = fn()
+        dt = time.perf_counter() - t0
+        if dt < best:
+            best = dt
+    return best, events
+
+
+def _record(
+    name: str,
+    fn: Callable[[], int],
+    rounds: int,
+    params: Dict[str, object],
+) -> BenchRecord:
+    wall, events = _measure(fn, rounds)
+    eps = events / wall if wall > 0 else 0.0
+    return BenchRecord(
+        name=name,
+        wall_s=round(wall, 6),
+        events=events,
+        events_per_sec=round(eps, 1),
+        rounds=rounds,
+        params=params,
+    )
+
+
+def _peak_rss_kb() -> Optional[int]:
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    if sys.platform == "darwin":
+        rss //= 1024
+    return int(rss)
+
+
+def run_suite(
+    quick: bool = False,
+    label: str = "local",
+    rounds: Optional[int] = None,
+    storm_events: int = DEFAULT_STORM_EVENTS,
+    progress: Optional[Callable[[str], None]] = None,
+) -> BenchReport:
+    """Run the full bench suite and return the report.
+
+    ``rounds`` defaults to 3 in quick mode and 5 otherwise;
+    ``storm_events`` is exposed for the unit tests (tiny storms) and is
+    recorded in each storm's ``params`` so mismatched-size reports never
+    get compared.  ``progress`` receives one line per benchmark.
+    """
+    if rounds is None:
+        rounds = 3 if quick else 5
+    say = progress or (lambda _msg: None)
+    report = BenchReport(label=label, quick=quick)
+
+    # ------------------------------------------------------------------
+    # Engine storms: raw event throughput.
+    # ------------------------------------------------------------------
+    storms = [
+        (
+            "event_storm_chain",
+            lambda: event_storm_chain(storm_events),
+            {"events": storm_events},
+        ),
+        (
+            "event_storm_deep",
+            lambda: event_storm_deep(storm_events, DEFAULT_STORM_CHAINS),
+            {"events": storm_events, "chains": DEFAULT_STORM_CHAINS},
+        ),
+    ]
+    for name, fn, params in storms:
+        rec = _record(name, fn, rounds, params)
+        report.records[name] = rec
+        say(
+            f"{name}: {rec.events_per_sec:,.0f} events/s "
+            f"({rec.wall_s * 1e3:.1f} ms best of {rounds})"
+        )
+
+    # ------------------------------------------------------------------
+    # Paper suite: MetBench end-to-end (kernel + POWER5 model + HPCSched).
+    # ------------------------------------------------------------------
+    from repro.experiments import metbench
+
+    if quick:
+        exp_cases = [("uniform", 8)]
+        exp_rounds = 1
+    else:
+        exp_cases = [("cfs", None), ("uniform", None), ("adaptive", None)]
+        exp_rounds = 2
+
+    for sched, iters in exp_cases:
+        holder: Dict[str, int] = {}
+
+        def run_exp(sched: str = sched, iters: Optional[int] = iters) -> int:
+            result = metbench.run_one(sched, iterations=iters, keep_trace=True)
+            assert result.kernel is not None
+            holder["events"] = result.kernel.sim.events_processed
+            return holder["events"]
+
+        name = f"metbench_{sched}"
+        rec = _record(
+            name, run_exp, exp_rounds, {"scheduler": sched, "iterations": iters}
+        )
+        report.records[name] = rec
+        say(
+            f"{name}: {rec.wall_s * 1e3:.1f} ms, "
+            f"{rec.events} events ({rec.events_per_sec:,.0f} events/s)"
+        )
+
+    report.peak_rss_kb = _peak_rss_kb()
+    return report
+
+
+# ----------------------------------------------------------------------
+# Report I/O and comparison
+# ----------------------------------------------------------------------
+class BenchFormatError(ValueError):
+    """A BENCH_*.json file does not match the expected schema."""
+
+
+def write_report(report: BenchReport, path: Path) -> None:
+    """Serialize ``report`` to ``path`` (creating parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n")
+
+
+def load_report(path: Path) -> Dict[str, object]:
+    """Load and validate a report dict (raw JSON form)."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or "schema" not in data:
+        raise BenchFormatError(f"{path}: not a bench report")
+    if data["schema"] != SCHEMA_VERSION:
+        raise BenchFormatError(
+            f"{path}: schema {data['schema']} != supported {SCHEMA_VERSION}"
+        )
+    if not isinstance(data.get("benchmarks"), dict):
+        raise BenchFormatError(f"{path}: missing benchmarks table")
+    return data
+
+
+def find_baseline(directory: Path, exclude: Optional[Path] = None) -> Optional[Path]:
+    """The most recently modified ``BENCH_*.json`` in ``directory``,
+    skipping ``exclude`` (the file about to be written)."""
+    directory = Path(directory)
+    candidates = [
+        p
+        for p in sorted(directory.glob("BENCH_*.json"))
+        if exclude is None or p.resolve() != Path(exclude).resolve()
+    ]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda p: p.stat().st_mtime)
+
+
+def compare_reports(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[Dict[str, object]]:
+    """Diff two report dicts on events/sec.
+
+    Returns one row per benchmark present in both reports *with matching
+    parameters*: ``{name, current, baseline, ratio, regressed}`` where
+    ``ratio`` is current/baseline throughput and ``regressed`` flags a
+    drop of more than ``threshold``.
+    """
+    rows: List[Dict[str, object]] = []
+    cur_benches = current["benchmarks"]
+    base_benches = baseline["benchmarks"]
+    assert isinstance(cur_benches, dict) and isinstance(base_benches, dict)
+    for name in sorted(cur_benches):
+        if name not in base_benches:
+            continue
+        cur, base = cur_benches[name], base_benches[name]
+        if cur.get("params") != base.get("params"):
+            continue  # not comparable (different sizes/iterations)
+        base_eps = float(base.get("events_per_sec", 0.0))
+        cur_eps = float(cur.get("events_per_sec", 0.0))
+        if base_eps <= 0:
+            continue
+        ratio = cur_eps / base_eps
+        rows.append(
+            {
+                "name": name,
+                "current": cur_eps,
+                "baseline": base_eps,
+                "ratio": round(ratio, 4),
+                "regressed": ratio < 1.0 - threshold,
+            }
+        )
+    return rows

@@ -1,0 +1,60 @@
+"""Benchmark workloads for the engine and the experiment stack.
+
+Two synthetic event storms bracket the engine's behaviour:
+
+* :func:`event_storm_chain` — a single self-rescheduling chain.  The
+  heap never holds more than one event, so the measurement isolates the
+  per-event fixed cost of the run loop (pop, clock update, callback
+  dispatch, push).
+* :func:`event_storm_deep` — many concurrent chains with staggered
+  periods.  The heap stays hundreds of events deep, which is what real
+  kernel queues look like (ticks, phase completions, balance timers and
+  reschedules across every CPU), so ``Event.__lt__`` and heap sifting
+  dominate.
+
+Both are deterministic: same arguments, same event count.
+"""
+
+from __future__ import annotations
+
+from repro.simcore.engine import Simulator
+
+#: Default number of events per storm; identical in quick and full bench
+#: modes so throughput numbers stay comparable across reports.
+DEFAULT_STORM_EVENTS = 200_000
+
+#: Concurrent chains of the deep storm (heap depth while running).
+DEFAULT_STORM_CHAINS = 512
+
+
+def event_storm_chain(n: int = DEFAULT_STORM_EVENTS) -> int:
+    """Single self-rescheduling chain; returns events processed."""
+    sim = Simulator()
+
+    def chain(i: int = 0) -> None:
+        if i < n:
+            sim.after(1e-6, lambda: chain(i + 1))
+
+    chain()
+    sim.run()
+    return sim.events_processed
+
+
+def event_storm_deep(
+    n: int = DEFAULT_STORM_EVENTS, chains: int = DEFAULT_STORM_CHAINS
+) -> int:
+    """``chains`` concurrent self-rescheduling chains with staggered
+    periods; returns events processed (``chains * (n // chains)``)."""
+    sim = Simulator()
+    per_chain = n // chains
+
+    def hop(c: int, i: int) -> None:
+        if i < per_chain:
+            # Staggered periods keep the chains out of lockstep so heap
+            # order actually has to be maintained.
+            sim.after(1e-6 * ((c % 7) + 1), lambda: hop(c, i + 1))
+
+    for c in range(chains):
+        hop(c, 0)
+    sim.run()
+    return sim.events_processed

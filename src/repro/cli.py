@@ -12,7 +12,10 @@ Subcommands:
   the whole experiment matrix (see :mod:`repro.campaign`),
 * ``validate``                  — differential-oracle fuzzing of the
   fluid-rate engine against the brute-force reference simulator
-  (see :mod:`repro.validate`).
+  (see :mod:`repro.validate`),
+* ``bench``                     — measure engine throughput and paper
+  suite wall cost, write ``BENCH_<label>.json``, diff against the
+  previous report (see :mod:`repro.bench`).
 
 Examples::
 
@@ -22,6 +25,7 @@ Examples::
     repro-hpcsched campaign run paper-full --jobs 4
     repro-hpcsched campaign status campaigns/paper-full
     repro-hpcsched validate --fuzz 50 --seed 0
+    repro-hpcsched bench --quick --label ci
 """
 
 from __future__ import annotations
@@ -146,6 +150,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--keep-going", action="store_true",
         help="keep fuzzing past the first divergence",
     )
+    ben = sub.add_parser(
+        "bench",
+        help="run the performance benchmark suite and record/diff "
+        "BENCH_<label>.json reports",
+    )
+    ben.add_argument(
+        "--quick", action="store_true",
+        help="trimmed experiment suite and fewer rounds (storm sizes "
+        "are unchanged, so throughput stays comparable)",
+    )
+    ben.add_argument(
+        "--label", default="local",
+        help="report label: writes BENCH_<label>.json (default local)",
+    )
+    ben.add_argument(
+        "--out", default=".",
+        help="directory for the report (default: current directory)",
+    )
+    ben.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline report to diff against (default: newest other "
+        "BENCH_*.json in the output directory)",
+    )
+    ben.add_argument(
+        "--threshold", type=float, default=None, metavar="FRAC",
+        help="fail when events/sec drops more than FRAC below the "
+        "baseline (default 0.20)",
+    )
+    ben.add_argument(
+        "--rounds", type=int, default=None,
+        help="rounds per benchmark (default: 3 quick, 5 full)",
+    )
+    ben.add_argument(
+        "--storm-events", type=int, default=None,
+        help="event count per synthetic storm (default 200000; mainly "
+        "for tests — reports with different sizes are never compared)",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list" or args.command is None:
@@ -162,6 +203,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _campaign(args)
     if args.command == "validate":
         return _validate(args)
+    if args.command == "bench":
+        return _bench(args)
     parser.print_help()
     return 1
 
@@ -388,6 +431,69 @@ def _validate(args) -> int:
     )
     print(report.summary())
     return 0 if report.ok else 1
+
+
+def _bench(args) -> int:
+    """``bench``: measure, record BENCH_<label>.json, diff vs baseline."""
+    from pathlib import Path
+
+    from repro.bench import harness
+
+    out_dir = Path(args.out)
+    out_path = out_dir / f"BENCH_{args.label}.json"
+    threshold = (
+        harness.DEFAULT_THRESHOLD if args.threshold is None else args.threshold
+    )
+    kwargs = {}
+    if args.storm_events is not None:
+        kwargs["storm_events"] = args.storm_events
+
+    report = harness.run_suite(
+        quick=args.quick,
+        label=args.label,
+        rounds=args.rounds,
+        progress=lambda line: print(f"  {line}"),
+        **kwargs,
+    )
+
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+    else:
+        baseline_path = harness.find_baseline(out_dir, exclude=out_path)
+
+    regressed = False
+    if baseline_path is not None and baseline_path.exists():
+        try:
+            baseline = harness.load_report(baseline_path)
+        except harness.BenchFormatError as exc:
+            print(f"baseline ignored: {exc}", file=sys.stderr)
+        else:
+            rows = harness.compare_reports(report.to_dict(), baseline, threshold)
+            report.vs_baseline = {
+                "baseline": str(baseline_path),
+                "threshold": threshold,
+                "rows": rows,
+            }
+            print(f"\nvs {baseline_path} (threshold -{threshold:.0%}):")
+            for row in rows:
+                mark = "REGRESSED" if row["regressed"] else "ok"
+                print(
+                    f"  {row['name']:<24} {row['ratio']:>6.2f}x "
+                    f"({row['current']:,.0f} vs {row['baseline']:,.0f} "
+                    f"events/s)  {mark}"
+                )
+                regressed = regressed or bool(row["regressed"])
+            if not rows:
+                print("  (no comparable benchmarks)")
+    else:
+        print("\nno baseline found; recording only")
+
+    harness.write_report(report, out_path)
+    print(f"wrote {out_path}")
+    if regressed:
+        print("PERFORMANCE REGRESSION beyond threshold", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _report(quick: bool = False) -> int:

@@ -92,7 +92,13 @@ class HPCTaskStats:
         if ti <= 0:
             return None
         tr = max(0.0, run_now - self.run_snapshot)
-        util = min(1.0, tr / ti)
+        if tr > ti:
+            # Accounting jitter can charge marginally more run time than
+            # wall time elapsed.  Clamp *tr itself* — not just the ratio —
+            # so the accumulated ``total_run`` stays consistent with the
+            # per-iteration clamp and ``global_util`` (Ug) cannot exceed 1.
+            tr = ti
+        util = tr / ti
         self.last_util = util
         self.last_tr = tr
         self.last_ti = ti
@@ -143,6 +149,22 @@ class LoadImbalanceDetector:
         #: Tasks that closed an iteration in the current round.
         self._round_closed: set = set()
         self._round_changed = False
+        kernel.tunables.subscribe(self._refresh_tunable_cache)
+
+    def _refresh_tunable_cache(self) -> None:
+        """Cache the knobs consulted on every iteration close (and by
+        the heuristics' decide())."""
+        get = self.kernel.tunables.get
+        self._min_iter_time = get("hpcsched/min_iter_time")
+        self._rebalance_delta = get("hpcsched/rebalance_delta")
+        self._balance_spread = get("hpcsched/balance_spread")
+        self._min_prio = get("hpcsched/min_prio")
+        self._max_prio = get("hpcsched/max_prio")
+        self._high_util = get("hpcsched/high_util")
+        self._low_util = get("hpcsched/low_util")
+        self._prio_step_mode = get("hpcsched/prio_step_mode")
+        self._adaptive_g = get("hpcsched/adaptive_g")
+        self._adaptive_l = get("hpcsched/adaptive_l")
 
     # ------------------------------------------------------------------
     # Task registry (driven by the HPC scheduling class)
@@ -156,9 +178,13 @@ class LoadImbalanceDetector:
         st.run_snapshot = task.sum_exec_runtime
         self.stats[task.pid] = st
         self.state = "adjusting"
+        # Thaw-via-task-arrival: stale stable-state references must not
+        # survive into the next freeze (the membership changed, so the
+        # old per-task references describe a different application).
+        self._freeze_ref.clear()
         self._round_closed.clear()
         self._round_changed = False
-        base = self.kernel.tunables.get("hpcsched/min_prio")
+        base = self._min_prio
         if task.hw_priority != base:
             self._apply(task, base)
 
@@ -177,8 +203,7 @@ class LoadImbalanceDetector:
         if st is None:
             return
         now = self.kernel.now
-        min_iter = self.kernel.tunables.get("hpcsched/min_iter_time")
-        if now - st.iter_start < min_iter:
+        if now - st.iter_start < self._min_iter_time:
             return  # spurious/short wakeup; fold into the open iteration
         util = st.close_iteration(now, task.sum_exec_runtime)
         if util is None:
@@ -240,8 +265,7 @@ class LoadImbalanceDetector:
         ref = self._freeze_ref.get(pid)
         if ref is None:
             return False
-        delta = self.kernel.tunables.get("hpcsched/rebalance_delta")
-        return abs(util - ref) * 100.0 > delta
+        return abs(util - ref) * 100.0 > self._rebalance_delta
 
     def _thaw(self) -> None:
         """Leave the stable state: the history describes old behaviour."""
@@ -275,7 +299,7 @@ class LoadImbalanceDetector:
         if len(utils) < len(self.stats) or not utils:
             return False
         spread = (max(utils) - min(utils)) * 100.0
-        return spread <= self.kernel.tunables.get("hpcsched/balance_spread")
+        return spread <= self._balance_spread
 
     # ------------------------------------------------------------------
     def _apply(self, task: "Task", priority: int) -> None:

@@ -60,21 +60,18 @@ class Heuristic(ABC):
         util_pct: float,
     ) -> Optional[int]:
         """Apply the LOW/HIGH utilization bands to ``util_pct``."""
-        tun = detector.kernel.tunables
-        high = tun.get("hpcsched/high_util")
-        low = tun.get("hpcsched/low_util")
-        min_prio = tun.get("hpcsched/min_prio")
-        max_prio = tun.get("hpcsched/max_prio")
+        # Band values come from the detector's tunable cache (refreshed
+        # on every tunables.set) — decide() runs per iteration close.
         current = detector.mechanism.read(task)
 
-        if util_pct >= high:
-            target = max_prio
-        elif util_pct <= low:
-            target = min_prio
+        if util_pct >= detector._high_util:
+            target = detector._max_prio
+        elif util_pct <= detector._low_util:
+            target = detector._min_prio
         else:
             return None
 
-        if tun.get("hpcsched/prio_step_mode") == "step" and target != current:
+        if detector._prio_step_mode == "step" and target != current:
             return current + (1 if target > current else -1)
         return target
 
@@ -99,9 +96,8 @@ class AdaptiveHeuristic(Heuristic):
     name = "adaptive"
 
     def decide(self, detector, task, stats) -> Optional[int]:
-        tun = detector.kernel.tunables
-        g = tun.get("hpcsched/adaptive_g")
-        l = tun.get("hpcsched/adaptive_l")
+        g = detector._adaptive_g
+        l = detector._adaptive_l
         last = stats.last_util if stats.last_util is not None else 0.0
         prev_global = self._global_before_last(stats)
         util = g * prev_global + l * last

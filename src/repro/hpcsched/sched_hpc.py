@@ -55,6 +55,14 @@ class HPCSchedClass(SchedClass):
         self.detector = LoadImbalanceDetector(
             kernel, heuristic or UniformHeuristic(), mechanism
         )
+        kernel.tunables.subscribe(self._refresh_tunable_cache)
+
+    def _refresh_tunable_cache(self) -> None:
+        """Cache the per-pick/per-tick knobs of the HPC class."""
+        get = self.kernel.tunables.get
+        self._rr = get("hpcsched/policy_mode") == "rr"
+        self._rr_timeslice = get("hpcsched/rr_timeslice")
+        self._tick_period = get("kernel/tick_period")
 
     # ------------------------------------------------------------------
     # Queueing discipline
@@ -76,8 +84,8 @@ class HPCSchedClass(SchedClass):
         if not q.tasks:
             return None
         task = q.tasks.popleft()
-        if self._rr_mode() and task.rr_slice_left <= 0.0:
-            task.rr_slice_left = self.kernel.tunables.get("hpcsched/rr_timeslice")
+        if self._rr and task.rr_slice_left <= 0.0:
+            task.rr_slice_left = self._rr_timeslice
         return task
 
     def nr_queued(self, rq: "RunQueue") -> int:
@@ -87,12 +95,12 @@ class HPCSchedClass(SchedClass):
     # Tick / preemption
     # ------------------------------------------------------------------
     def task_tick(self, rq: "RunQueue", task: "Task") -> None:
-        if not self._rr_mode():
+        if not self._rr:
             return  # FIFO: the selected task runs until it yields/blocks
-        task.rr_slice_left -= self.kernel.tunables.get("kernel/tick_period")
+        task.rr_slice_left -= self._tick_period
         if task.rr_slice_left > 0.0:
             return
-        task.rr_slice_left = self.kernel.tunables.get("hpcsched/rr_timeslice")
+        task.rr_slice_left = self._rr_timeslice
         if self.nr_queued(rq) > 0:
             self.kernel.resched(rq.cpu)
 
@@ -103,7 +111,7 @@ class HPCSchedClass(SchedClass):
         return False
 
     def needs_tick(self, rq: "RunQueue", task: "Task") -> bool:
-        return self._rr_mode() and self.nr_queued(rq) > 0
+        return self._rr and self.nr_queued(rq) > 0
 
     def pull_candidates(self, rq: "RunQueue") -> List["Task"]:
         # Back of the round-robin list first: least disruption.
@@ -127,7 +135,7 @@ class HPCSchedClass(SchedClass):
             self.detector.on_wait_wakeup(task)
 
     def _rr_mode(self) -> bool:
-        return self.kernel.tunables.get("hpcsched/policy_mode") == "rr"
+        return self._rr
 
 
 def attach_hpcsched(

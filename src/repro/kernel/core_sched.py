@@ -72,6 +72,19 @@ class Kernel:
             cpu: RunQueue(cpu) for cpu in self.machine.cpu_ids
         }
 
+        # Hot-path caches.  Hardware contexts never change after machine
+        # construction, and the per-event label strings are interned here
+        # once instead of being re-formatted per context switch.  Hot
+        # tunables are cached as attributes and refreshed through the
+        # registry's subscriber hook whenever any tunable is written.
+        self._ctxs: Dict[int, Any] = {
+            cpu: self.machine.context(cpu) for cpu in self.machine.cpu_ids
+        }
+        self._lbl_resched = {c: f"resched/{c}" for c in self.machine.cpu_ids}
+        self._lbl_tick = {c: f"tick/{c}" for c in self.machine.cpu_ids}
+        self._lbl_balance = {c: f"balance/{c}" for c in self.machine.cpu_ids}
+        self.tunables.subscribe(self._refresh_tunable_cache)
+
         from repro.power5.pmu import MachinePMU
 
         #: Simulated performance counters (decode shares, ST time, ...).
@@ -106,6 +119,15 @@ class Kernel:
     # ------------------------------------------------------------------
     # Boot / configuration
     # ------------------------------------------------------------------
+    def _refresh_tunable_cache(self) -> None:
+        """Re-read the hot tunables consumed on every context switch,
+        tick and balance round (invoked via ``Tunables.subscribe``)."""
+        get = self.tunables.get
+        self._cs_cost = get("kernel/context_switch_cost")
+        self._tick_period = get("kernel/tick_period")
+        self._full_ticks = get("kernel/full_ticks")
+        self._lb_interval = get("kernel/loadbalance_interval")
+
     def _boot(self) -> None:
         """Create and install the per-CPU idle tasks."""
         for cpu in self.machine.cpu_ids:
@@ -376,7 +398,7 @@ class Kernel:
         task.hw_priority = int(priority)
         self._trace(task, "hw_priority", priority=int(priority))
         if task.state == TaskState.RUNNING and task.cpu is not None:
-            ctx = self.machine.context(task.cpu)
+            ctx = self._ctxs[task.cpu]
             ctx.set_priority(priority)
             self._rates_changed(ctx.core)
 
@@ -392,7 +414,7 @@ class Kernel:
                 self.sim.now,
                 lambda: self._resched_fire(cpu),
                 priority=EVPRIO_RESCHED,
-                label=f"resched/{cpu}",
+                label=self._lbl_resched[cpu],
             )
 
     def _resched_fire(self, cpu: int) -> None:
@@ -448,9 +470,7 @@ class Kernel:
         rq.current = next_task
         if not same:
             self.context_switches += 1
-        cost = (
-            0.0 if same else self.tunables.get("kernel/context_switch_cost")
-        )
+        cost = 0.0 if same else self._cs_cost
         self._install(cpu, next_task, cost)
 
     # Name-mangled alias so subsystems inside the package can call it.
@@ -470,13 +490,13 @@ class Kernel:
         rq = self.rqs[cpu]
         now = self.sim.now
         rq.curr_switched_in_at = now
-        ctx = self.machine.context(cpu)
+        ctx = self._ctxs[cpu]
 
         if task.is_idle_task:
             task.state = TaskState.RUNNING
             task.cpu = cpu
             ctx.idle()
-            self._rates_changed(ctx.core)
+            self._rates_changed(ctx.core, skip_ctx=ctx)
             self._trace(task, "run_idle", cpu=cpu)
             self._update_tick(cpu)
             return
@@ -488,7 +508,10 @@ class Kernel:
             self.latency_stats.record(task, now - task.last_enqueue_time)
             task.wakeup_pending = False  # type: ignore[attr-defined]
         ctx.load(task, task.hw_priority, busy=True)
-        self._rates_changed(ctx.core)
+        # The freshly installed context is excluded from the rebase: its
+        # task's phase is (re)started by _start_phase below, and its
+        # progress was already banked when it left the CPU.
+        self._rates_changed(ctx.core, skip_ctx=ctx)
         self._trace(task, "run", cpu=cpu)
         if task.phase_remaining > _WORK_EPSILON:
             self._start_phase(cpu, task, delay=cost)
@@ -500,12 +523,13 @@ class Kernel:
     # Fluid-rate compute phases
     # ------------------------------------------------------------------
     def _task_rate(self, cpu: int, task: Task) -> float:
-        ctx = self.machine.context(cpu)
+        ctx = self._ctxs[cpu]
         return ctx.core.context_speed(ctx.thread_index, task.perf_profile)
 
     def _start_phase(self, cpu: int, task: Task, delay: float = 0.0) -> None:
         now = self.sim.now
-        rate = self._task_rate(cpu, task)
+        ctx = self._ctxs[cpu]
+        rate = ctx.core.context_speed(ctx.thread_index, task.perf_profile)
         task.phase_rate = rate
         task.phase_started_at = now + delay
         task.cancel_phase_event()
@@ -516,7 +540,7 @@ class Kernel:
             eta,
             lambda: self._phase_complete(cpu, task),
             priority=EVPRIO_PHASE,
-            label=f"phase/{task.pid}",
+            label=task.phase_label,
         )
 
     def _phase_complete(self, cpu: int, task: Task) -> None:
@@ -529,12 +553,21 @@ class Kernel:
         self.update_curr(self.rqs[cpu])
         self._advance_program(cpu, task)
 
-    def _rates_changed(self, core) -> None:
-        """SMT state of ``core`` changed: rebase both contexts' phases."""
+    def _rates_changed(self, core, skip_ctx=None) -> None:
+        """SMT state of ``core`` changed: rebase the affected contexts'
+        phases.
+
+        ``skip_ctx`` names a context whose phase the caller manages
+        itself (the one a task was just installed on): its previous
+        occupant already banked its progress when it was switched out,
+        so rebasing it here would be redundant work per preemption.
+        """
         now = self.sim.now
         # Attribute the elapsed interval to the pre-change SMT state.
         self.pmu.advance_core(core, now)
         for ctx in core.contexts:
+            if ctx is skip_ctx:
+                continue
             t = ctx.task
             if (
                 t is None
@@ -609,17 +642,17 @@ class Kernel:
     def _update_tick(self, cpu: int) -> None:
         rq = self.rqs[cpu]
         cur = rq.current
-        needed = self.tunables.get("kernel/full_ticks") or (
+        needed = self._full_ticks or (
             cur is not None
             and not cur.is_idle_task
             and cur.sched_class.needs_tick(rq, cur)
         )
         if needed and (rq.tick_event is None or rq.tick_event.cancelled):
             rq.tick_event = self.sim.after(
-                self.tunables.get("kernel/tick_period"),
+                self._tick_period,
                 lambda: self._tick(cpu),
                 priority=EVPRIO_TICK,
-                label=f"tick/{cpu}",
+                label=self._lbl_tick[cpu],
             )
 
     def _tick(self, cpu: int) -> None:
@@ -638,14 +671,14 @@ class Kernel:
         if self._balance_started:
             return
         self._balance_started = True
-        interval = self.tunables.get("kernel/loadbalance_interval")
+        interval = self._lb_interval
         for i, cpu in enumerate(self.machine.cpu_ids):
             offset = interval * (i + 1) / (len(self.machine.cpu_ids) + 1)
             self.sim.after(
                 offset,
                 lambda c=cpu: self._periodic_balance(c),
                 priority=EVPRIO_BALANCE,
-                label=f"balance/{cpu}",
+                label=self._lbl_balance[cpu],
             )
 
     def _periodic_balance(self, cpu: int) -> None:
@@ -653,10 +686,10 @@ class Kernel:
             return  # quiesce: no work left, stop re-arming
         self.balancer.periodic(cpu)
         self.sim.after(
-            self.tunables.get("kernel/loadbalance_interval"),
+            self._lb_interval,
             lambda: self._periodic_balance(cpu),
             priority=EVPRIO_BALANCE,
-            label=f"balance/{cpu}",
+            label=self._lbl_balance[cpu],
         )
 
     # ------------------------------------------------------------------

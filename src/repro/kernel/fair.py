@@ -76,6 +76,17 @@ class FairClass(SchedClass):
     name = "fair"
     policies = FAIR_POLICIES
 
+    def __init__(self, kernel) -> None:
+        super().__init__(kernel)
+        kernel.tunables.subscribe(self._refresh_tunable_cache)
+
+    def _refresh_tunable_cache(self) -> None:
+        """Cache the CFS knobs read on every enqueue/tick/wakeup."""
+        get = self.kernel.tunables.get
+        self._latency = get("kernel/sched_latency")
+        self._min_gran = get("kernel/sched_min_granularity")
+        self._wakeup_gran = get("kernel/sched_wakeup_granularity")
+
     def create_queue(self) -> CFSQueue:
         return CFSQueue()
 
@@ -124,8 +135,7 @@ class FairClass(SchedClass):
     def task_placed(self, rq: "RunQueue", task: "Task") -> None:
         """Normalize a woken/new task's vruntime against this queue."""
         q = rq.queue_for(self)
-        latency = self.kernel.tunables.get("kernel/sched_latency")
-        floor = q.min_vruntime - latency
+        floor = q.min_vruntime - self._latency
         if task.vruntime < floor:
             task.vruntime = floor
         oracles = self.kernel.oracles
@@ -144,7 +154,7 @@ class FairClass(SchedClass):
         # preempts once the minimum granularity has elapsed.
         q = rq.queue_for(self)
         left = q.leftmost()
-        min_gran = self.kernel.tunables.get("kernel/sched_min_granularity")
+        min_gran = self._min_gran
         if left is not None and ran >= min_gran and left.vruntime < task.vruntime:
             self.kernel.resched(rq.cpu)
 
@@ -152,8 +162,7 @@ class FairClass(SchedClass):
         cur = rq.current
         if cur is None:
             return True
-        gran = self.kernel.tunables.get("kernel/sched_wakeup_granularity")
-        vgran = gran * NICE_0_LOAD / nice_to_weight(woken.nice)
+        vgran = self._wakeup_gran * NICE_0_LOAD / nice_to_weight(woken.nice)
         return woken.vruntime + vgran < cur.vruntime
 
     def put_prev_task(self, rq: "RunQueue", task: "Task") -> None:
@@ -167,8 +176,8 @@ class FairClass(SchedClass):
 
     # ------------------------------------------------------------------
     def _ideal_slice(self, rq: "RunQueue", task: "Task") -> float:
-        latency = self.kernel.tunables.get("kernel/sched_latency")
-        min_gran = self.kernel.tunables.get("kernel/sched_min_granularity")
+        latency = self._latency
+        min_gran = self._min_gran
         q = rq.queue_for(self)
         w = nice_to_weight(task.nice)
         total = q.total_weight + w

@@ -75,6 +75,16 @@ class RTClass(SchedClass):
     name = "rt"
     policies = RT_POLICIES
 
+    def __init__(self, kernel) -> None:
+        super().__init__(kernel)
+        kernel.tunables.subscribe(self._refresh_tunable_cache)
+
+    def _refresh_tunable_cache(self) -> None:
+        """Cache the RR slice / tick knobs read on every pick and tick."""
+        get = self.kernel.tunables.get
+        self._rr_timeslice = get("kernel/sched_rr_timeslice")
+        self._tick_period = get("kernel/tick_period")
+
     def create_queue(self) -> RTQueue:
         return RTQueue()
 
@@ -93,9 +103,7 @@ class RTClass(SchedClass):
         task = rq.queue_for(self).pop_best()
         if task is not None and task.policy == SchedPolicy.RR:
             if task.rr_slice_left <= 0.0:
-                task.rr_slice_left = self.kernel.tunables.get(
-                    "kernel/sched_rr_timeslice"
-                )
+                task.rr_slice_left = self._rr_timeslice
         return task
 
     def nr_queued(self, rq: "RunQueue") -> int:
@@ -104,10 +112,10 @@ class RTClass(SchedClass):
     def task_tick(self, rq: "RunQueue", task: "Task") -> None:
         if task.policy != SchedPolicy.RR:
             return  # FIFO: no slice, runs until it blocks or yields
-        task.rr_slice_left -= self.kernel.tunables.get("kernel/tick_period")
+        task.rr_slice_left -= self._tick_period
         if task.rr_slice_left > 0.0:
             return
-        task.rr_slice_left = self.kernel.tunables.get("kernel/sched_rr_timeslice")
+        task.rr_slice_left = self._rr_timeslice
         # Round-robin only matters if a peer of the same priority waits.
         q = rq.queue_for(self)
         if q.best_priority() is not None and q.best_priority() >= task.rt_priority:

@@ -56,6 +56,10 @@ class Task:
         self.cpu: Optional[int] = None
         #: POWER5 hardware thread priority restored on context switch.
         self.hw_priority: int = int(DEFAULT_PRIORITY)
+        #: Pre-formatted label for phase-completion events (the kernel
+        #: schedules one per compute phase; formatting it per event is
+        #: measurable on the hot path).
+        self.phase_label = f"phase/{pid}"
 
         # -- accounting ------------------------------------------------
         #: Total CPU time consumed (seconds of occupancy, regardless of

@@ -11,7 +11,7 @@ user would on the real system.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 
 class TunableError(KeyError):
@@ -27,11 +27,31 @@ class _Entry:
 
 
 class Tunables:
-    """Typed key/value registry addressed by sysfs-like paths."""
+    """Typed key/value registry addressed by sysfs-like paths.
+
+    Hot-path consumers (the scheduler core, CFS, the HPC detector) do
+    not call :meth:`get` per use — they cache values as plain attributes
+    and register a refresh hook via :meth:`subscribe`, which fires after
+    every successful :meth:`set`/:meth:`register`.  That keeps writes as
+    flexible as sysfs while reads cost one attribute load.
+    """
 
     def __init__(self) -> None:
         self._entries: Dict[str, _Entry] = {}
+        #: Cache-invalidation hooks, fired after every write.
+        self._subscribers: List[Callable[[], None]] = []
         self._register_defaults()
+
+    def subscribe(self, callback: Callable[[], None]) -> None:
+        """Register a zero-argument hook invoked after every successful
+        write, so consumers can refresh cached tunable values.  The hook
+        is also invoked once immediately (subscribe == sync now)."""
+        self._subscribers.append(callback)
+        callback()
+
+    def _notify(self) -> None:
+        for callback in self._subscribers:
+            callback()
 
     def register(
         self,
@@ -43,6 +63,8 @@ class Tunables:
     ) -> None:
         """Declare a tunable with its default value."""
         self._entries[path] = _Entry(default, kind or type(default), validate, doc)
+        if self._subscribers:
+            self._notify()
 
     def get(self, path: str) -> Any:
         """Current value of the tunable at ``path``."""
@@ -67,6 +89,7 @@ class Tunables:
         if entry.validate is not None and not entry.validate(value):
             raise TunableError(f"value {value!r} rejected for tunable {path!r}")
         entry.value = value
+        self._notify()
 
     def paths(self):
         """All registered tunable paths, sorted."""

@@ -27,10 +27,25 @@ from repro.power5.priorities import (
 )
 from repro.power5.decode import (
     decode_window,
-    decode_cycles,
-    decode_shares,
     DECODE_TABLE,
 )
+from repro.power5 import decode as _decode
+
+
+def decode_cycles(prio_a, prio_b):
+    """Decode cycles per window granted to (task A, task B).
+
+    Thin dispatcher: ``decode.enable_validation()`` swaps the underlying
+    implementation, and this wrapper always calls the current one.
+    """
+    return _decode.decode_cycles(prio_a, prio_b)
+
+
+def decode_shares(prio_a, prio_b):
+    """Fraction of decode bandwidth granted to each context (dispatches
+    to the currently installed implementation, see
+    :func:`repro.power5.decode.enable_validation`)."""
+    return _decode.decode_shares(prio_a, prio_b)
 from repro.power5.perfmodel import (
     PerformanceModel,
     DecodeShareModel,

@@ -36,24 +36,6 @@ class DecodeShareError(AssertionError):
     """The decode-share self-check caught invalid arbitration output."""
 
 
-def enable_validation() -> None:
-    """Turn on output self-checks for the decode arbitration functions.
-
-    With validation on, :func:`decode_cycles` verifies that the granted
-    cycles exactly fill the ``R``-cycle window and :func:`decode_shares`
-    verifies that both fractions lie in ``[0, 1]`` and sum to 1 (or to 0
-    when both contexts are off).  Called by
-    :func:`repro.validate.invariants.install`.
-    """
-    global _VALIDATE
-    _VALIDATE = True
-
-
-def disable_validation() -> None:
-    """Turn off the output self-checks (see :func:`enable_validation`)."""
-    global _VALIDATE
-    _VALIDATE = False
-
 #: Fraction of decode bandwidth a priority-1 ("background") context scavenges
 #: when the foreground sibling is busy.  The architecture gives a background
 #: thread only cycles the foreground cannot use; a few percent is a
@@ -84,7 +66,7 @@ def decode_window(prio_a: int, prio_b: int) -> int:
     return 2 ** (abs(int(pa) - int(pb)) + 1)
 
 
-def decode_cycles(prio_a: int, prio_b: int) -> Tuple[int, int]:
+def _decode_cycles_fast(prio_a: int, prio_b: int) -> Tuple[int, int]:
     """Decode cycles per window granted to (task A, task B).
 
     Implements Table I exactly: the higher-priority task receives ``R - 1``
@@ -92,29 +74,22 @@ def decode_cycles(prio_a: int, prio_b: int) -> Tuple[int, int]:
     """
     r = decode_window(prio_a, prio_b)
     if prio_a == prio_b:
-        pair = (1, 1)
-    elif prio_a > prio_b:
-        pair = (r - 1, 1)
-    else:
-        pair = (1, r - 1)
-    if _VALIDATE and pair[0] + pair[1] != r:
+        return (1, 1)
+    if prio_a > prio_b:
+        return (r - 1, 1)
+    return (1, r - 1)
+
+
+def _decode_cycles_checked(prio_a: int, prio_b: int) -> Tuple[int, int]:
+    """Validated variant of :func:`decode_cycles`: asserts the granted
+    cycles exactly fill the ``R``-cycle window."""
+    r = decode_window(prio_a, prio_b)
+    pair = _decode_cycles_fast(prio_a, prio_b)
+    if pair[0] + pair[1] != r:
         raise DecodeShareError(
             f"decode cycles {pair} for priorities ({prio_a}, {prio_b}) "
             f"do not fill the R={r} window"
         )
-    return pair
-
-
-def decode_shares(prio_a: int, prio_b: int) -> Tuple[float, float]:
-    """Fraction of decode bandwidth granted to each context.
-
-    Handles the special levels 0, 1 and 7 as described in the module
-    docstring, then falls back to the Table I window arithmetic.
-    """
-    pa, pb = coerce_priority(prio_a), coerce_priority(prio_b)
-    pair = _shares(pa, pb)
-    if _VALIDATE:
-        _check_shares(pa, pb, pair)
     return pair
 
 
@@ -141,9 +116,35 @@ def _shares(pa: HWPriority, pb: HWPriority) -> Tuple[float, float]:
     if pb == HWPriority.VERY_LOW:
         return (1.0 - BACKGROUND_SHARE, BACKGROUND_SHARE)
 
-    ca, cb = decode_cycles(pa, pb)
+    ca, cb = _decode_cycles_fast(pa, pb)
     r = ca + cb
     return (ca / r, cb / r)
+
+
+def _decode_shares_fast(prio_a: int, prio_b: int) -> Tuple[float, float]:
+    """Fraction of decode bandwidth granted to each context.
+
+    Handles the special levels 0, 1 and 7 as described in the module
+    docstring, then falls back to the Table I window arithmetic — all
+    precomputed in :data:`_SHARES_TABLE`.
+    """
+    pair = _SHARES_TABLE.get((prio_a, prio_b))
+    if pair is None:
+        # Non-integer or out-of-range input: coerce (which raises the
+        # canonical PriorityError for invalid levels) and retry.
+        pa, pb = coerce_priority(prio_a), coerce_priority(prio_b)
+        pair = _SHARES_TABLE[(int(pa), int(pb))]
+    return pair
+
+
+def _decode_shares_checked(prio_a: int, prio_b: int) -> Tuple[float, float]:
+    """Validated variant of :func:`decode_shares`: recomputes the pair
+    from first principles (so a corrupted constant is caught, not masked
+    by the precomputed table) and self-checks the output."""
+    pa, pb = coerce_priority(prio_a), coerce_priority(prio_b)
+    pair = _shares(pa, pb)
+    _check_shares(pa, pb, pair)
+    return pair
 
 
 def _check_shares(
@@ -174,3 +175,48 @@ def _check_normal(prio: HWPriority) -> None:
             f"priority {int(prio)} is special; Table I window arithmetic "
             "only covers the normal regime (2..6)"
         )
+
+
+#: Priorities form a closed set (0..7), so the full 8×8 arbitration
+#: outcome is precomputed once at import; the production
+#: ``decode_shares`` is a single dict lookup.  ``HWPriority`` is an
+#: ``IntEnum``, so enum and plain-int arguments hash identically.
+_SHARES_TABLE: Dict[Tuple[int, int], Tuple[float, float]] = {
+    (a, b): _shares(HWPriority(a), HWPriority(b))
+    for a in range(8)
+    for b in range(8)
+}
+
+# ----------------------------------------------------------------------
+# Implementation dispatch.  The public names are *module attributes*
+# rebound by enable/disable_validation, so production calls carry zero
+# per-call "is validation on?" branching.  Hot-path callers (perfmodel,
+# pmu) resolve them through the module object (``decode.decode_shares``)
+# so they observe the swap.
+# ----------------------------------------------------------------------
+decode_cycles = _decode_cycles_checked if _VALIDATE else _decode_cycles_fast
+decode_shares = _decode_shares_checked if _VALIDATE else _decode_shares_fast
+
+
+def enable_validation() -> None:
+    """Swap in the self-checking decode arbitration implementations.
+
+    With validation on, :func:`decode_cycles` verifies that the granted
+    cycles exactly fill the ``R``-cycle window and :func:`decode_shares`
+    recomputes each pair from first principles and verifies that both
+    fractions lie in ``[0, 1]`` and sum to 1 (or to 0 when both contexts
+    are off).  Called by :func:`repro.validate.invariants.install`.
+    """
+    global _VALIDATE, decode_cycles, decode_shares
+    _VALIDATE = True
+    decode_cycles = _decode_cycles_checked
+    decode_shares = _decode_shares_checked
+
+
+def disable_validation() -> None:
+    """Swap the unchecked table-driven implementations back in (see
+    :func:`enable_validation`)."""
+    global _VALIDATE, decode_cycles, decode_shares
+    _VALIDATE = False
+    decode_cycles = _decode_cycles_fast
+    decode_shares = _decode_shares_fast

@@ -35,7 +35,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Dict
 
-from repro.power5.decode import decode_shares
+from repro.power5 import decode
 from repro.power5.priorities import HWPriority
 
 
@@ -65,12 +65,23 @@ class PerfProfile:
     decode_fraction: float
     dprio_speed: Dict[int, float] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # The calibrated range never changes after construction; caching
+        # the bounds keeps table_speed — called once per rate change —
+        # from re-scanning the dict.  (object.__setattr__ because the
+        # dataclass is frozen.)
+        bounds = (
+            (min(self.dprio_speed), max(self.dprio_speed))
+            if self.dprio_speed
+            else (0, 0)
+        )
+        object.__setattr__(self, "_dprio_bounds", bounds)
+
     def table_speed(self, dprio: int) -> float:
         """Lookup with clamping to the calibrated range."""
         if not self.dprio_speed:
             return 1.0
-        lo = min(self.dprio_speed)
-        hi = max(self.dprio_speed)
+        lo, hi = self._dprio_bounds
         return self.dprio_speed[max(lo, min(hi, dprio))]
 
 
@@ -220,7 +231,9 @@ class DecodeShareModel(PerformanceModel):
                 own_priority, sibling_priority
             )
         else:
-            share_self, _ = decode_shares(own_priority, sibling_priority)
+            # Module-attribute call: observes the validated/unvalidated
+            # implementation swap done by decode.enable_validation().
+            share_self, _ = decode.decode_shares(own_priority, sibling_priority)
         if share_self <= 0.0:
             return 0.0
         if share_self >= 1.0:

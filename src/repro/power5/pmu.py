@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.power5.decode import decode_shares
+from repro.power5 import decode
 
 
 @dataclass
@@ -106,7 +106,9 @@ class CorePMU:
             sibling_busy = busy[1 - i]
             snap.st_mode = not sibling_busy
             if sibling_busy:
-                snap.share, _ = decode_shares(
+                # Module-attribute call so the validated implementation
+                # installed by decode.enable_validation() is observed.
+                snap.share, _ = decode.decode_shares(
                     int(ctxs[i].priority), int(ctxs[1 - i].priority)
                 )
             else:

@@ -7,10 +7,19 @@ with :meth:`Simulator.at` / :meth:`Simulator.after`; the engine guarantees:
 * the clock never moves backwards,
 * events at the same instant fire in (priority, insertion) order,
 * a hard event-count limit catches accidental livelock (zero-delay loops).
+
+The run loop is the hottest code in the repository: every simulated
+context switch, tick, wakeup and phase completion pays it once.  It is
+therefore hand-flattened — one heap access per delivered event, no
+intermediate ``peek``/``step``/``pop`` call layers — and ``at``/``after``
+construct the :class:`Event` directly instead of going through
+``EventQueue.push``.  ``Simulator.step`` keeps the composable slow path
+for external single-stepping; both paths have identical semantics.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Callable, Optional
 
 from repro.simcore.events import Event, EventQueue
@@ -35,7 +44,8 @@ class Simulator:
         self._running = False
         self._stop_requested = False
         #: Optional runtime oracle (repro.validate.invariants); receives
-        #: every delivered event when validation is enabled.
+        #: every delivered event when validation is enabled.  Must be
+        #: installed before :meth:`run` — the loop snapshots it.
         self.oracle: Optional[Any] = None
 
     # ------------------------------------------------------------------
@@ -53,7 +63,13 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at {time} (< now {self.now})"
             )
-        return self.queue.push(time, fn, priority, label)
+        queue = self.queue
+        seq = queue._seq
+        ev = Event(time, priority, seq, fn, label, queue)
+        queue._seq = seq + 1
+        queue._live += 1
+        heapq.heappush(queue._heap, (time, priority, seq, ev))
+        return ev
 
     def after(
         self,
@@ -65,7 +81,14 @@ class Simulator:
         """Schedule ``fn`` after ``delay`` seconds of simulated time."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.queue.push(self.now + delay, fn, priority, label)
+        queue = self.queue
+        seq = queue._seq
+        time = self.now + delay
+        ev = Event(time, priority, seq, fn, label, queue)
+        queue._seq = seq + 1
+        queue._live += 1
+        heapq.heappush(queue._heap, (time, priority, seq, ev))
+        return ev
 
     # ------------------------------------------------------------------
     # Run loop
@@ -114,22 +137,91 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         self._stop_requested = False
+        # Hot loop: one heap access per delivered event.  The heap list
+        # is mutated in place everywhere (clear() included), so the local
+        # binding stays valid across callbacks.  ``oracle`` is snapshot
+        # once — it is installed at kernel construction, never mid-run.
+        queue = self.queue
+        heap = queue._heap
+        heappop = heapq.heappop
+        max_events = self.max_events
+        oracle = self.oracle
+        processed = self.events_processed
         try:
-            while True:
-                if self._stop_requested:
-                    break
-                nxt = self.queue.peek_time()
-                if nxt is None:
-                    break
-                if until is not None and nxt > until:
-                    self.now = max(self.now, until)
-                    break
-                self.step()
-                if stop_when is not None and stop_when():
-                    break
-            if until is not None and self.queue.peek_time() is None:
-                self.now = max(self.now, until)
+            if until is None and oracle is None:
+                # Fast path (production runs without a horizon): pop
+                # directly; cancelled entries are dropped as they surface.
+                while not self._stop_requested:
+                    if not heap:
+                        break
+                    entry = heappop(heap)
+                    ev = entry[3]
+                    if ev.cancelled:
+                        continue
+                    ev._queue = None
+                    queue._live -= 1
+                    t = entry[0]
+                    if t < self.now:
+                        raise SimulationError(
+                            f"event {ev!r} scheduled in the past "
+                            f"(now={self.now})"
+                        )
+                    self.now = t
+                    processed += 1
+                    self.events_processed = processed
+                    if processed > max_events:
+                        raise SimulationError(
+                            f"event limit {max_events} exceeded at "
+                            f"t={self.now}: likely a zero-delay event "
+                            "livelock"
+                        )
+                    ev.fn()
+                    if stop_when is not None and stop_when():
+                        break
+            else:
+                # General path: peek first so events beyond the horizon
+                # stay queued, and feed the oracle when one is attached.
+                while not self._stop_requested:
+                    while heap and heap[0][3].cancelled:
+                        heappop(heap)
+                    if not heap:
+                        break
+                    entry = heap[0]
+                    t = entry[0]
+                    if until is not None and t > until:
+                        if until > self.now:
+                            self.now = until
+                        break
+                    heappop(heap)
+                    ev = entry[3]
+                    ev._queue = None
+                    queue._live -= 1
+                    if t < self.now:
+                        raise SimulationError(
+                            f"event {ev!r} scheduled in the past "
+                            f"(now={self.now})"
+                        )
+                    self.now = t
+                    processed += 1
+                    self.events_processed = processed
+                    if processed > max_events:
+                        raise SimulationError(
+                            f"event limit {max_events} exceeded at "
+                            f"t={self.now}: likely a zero-delay event "
+                            "livelock"
+                        )
+                    if oracle is not None:
+                        oracle.on_event(ev)
+                    ev.fn()
+                    if stop_when is not None and stop_when():
+                        break
+            if until is not None:
+                while heap and heap[0][3].cancelled:
+                    heappop(heap)
+                if not heap and until > self.now:
+                    self.now = until
         finally:
+            self.events_processed = processed
             self._running = False
         return self.now
 

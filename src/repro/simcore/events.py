@@ -7,7 +7,15 @@ deterministic for equal ``(time, priority)`` pairs.
 
 Cancellation is *lazy*: :meth:`Event.cancel` flags the event and the queue
 drops flagged entries when they surface, which is O(1) per cancel and keeps
-the heap simple.
+the heap simple.  The queue still answers ``len()`` exactly: it maintains a
+live pending count that is incremented on push and decremented when an event
+is cancelled, popped, or dropped by :meth:`EventQueue.clear` — so ``len()``
+never counts lazily-cancelled corpses still sitting in the heap.
+
+The heap itself stores ``(time, priority, seq, event)`` tuples rather than
+the events: ``seq`` is unique, so the tuple prefix is a total order, the
+:class:`Event` is never reached during comparison, and every heap sift
+compares plain floats/ints in C instead of calling ``Event.__lt__``.
 """
 
 from __future__ import annotations
@@ -33,7 +41,7 @@ class Event:
         Optional human-readable tag used in debug dumps.
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "label", "cancelled")
+    __slots__ = ("time", "priority", "seq", "fn", "label", "cancelled", "_queue")
 
     def __init__(
         self,
@@ -42,6 +50,7 @@ class Event:
         seq: int,
         fn: Callable[[], Any],
         label: str = "",
+        queue: Optional["EventQueue"] = None,
     ) -> None:
         self.time = time
         self.priority = priority
@@ -49,10 +58,20 @@ class Event:
         self.fn = fn
         self.label = label
         self.cancelled = False
+        # Owning queue while the event is pending; reset to None when the
+        # event fires, is cancelled, or the queue is cleared.  Carries the
+        # live pending count (``_queue is not None`` == counted in len()).
+        self._queue = queue
 
     def cancel(self) -> None:
         """Mark the event so the queue discards it instead of firing it."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        q = self._queue
+        if q is not None:
+            self._queue = None
+            q._live -= 1
 
     @property
     def active(self) -> bool:
@@ -60,11 +79,14 @@ class Event:
         return not self.cancelled
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.priority, self.seq) < (
-            other.time,
-            other.priority,
-            other.seq,
-        )
+        # The heap compares its (time, priority, seq) tuple entries and
+        # never reaches the Event; this ordering is kept for direct
+        # comparisons (sorting debug dumps, external consumers).
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         state = "cancelled" if self.cancelled else "pending"
@@ -72,14 +94,22 @@ class Event:
 
 
 class EventQueue:
-    """A cancellable priority queue of :class:`Event` objects."""
+    """A cancellable priority queue of :class:`Event` objects.
+
+    ``len(queue)`` is the number of *pending* (active, not yet fired)
+    events — cancelled entries awaiting lazy removal are not counted.
+    """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        #: (time, priority, seq, event) entries; seq is unique so the
+        #: prefix totally orders the heap without comparing events.
+        self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
+        #: Live pending count: push +1; cancel/pop/clear -1 per event.
+        self._live = 0
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return self._live
 
     def push(
         self,
@@ -89,26 +119,46 @@ class EventQueue:
         label: str = "",
     ) -> Event:
         """Schedule ``fn`` at absolute ``time`` and return its handle."""
-        ev = Event(time, priority, self._seq, fn, label)
-        self._seq += 1
-        heapq.heappush(self._heap, ev)
+        seq = self._seq
+        ev = Event(time, priority, seq, fn, label, self)
+        self._seq = seq + 1
+        self._live += 1
+        heapq.heappush(self._heap, (time, priority, seq, ev))
         return ev
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest pending event, skipping cancelled
         entries.  Returns ``None`` when the queue is exhausted."""
-        while self._heap:
-            ev = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)[3]
             if not ev.cancelled:
+                ev._queue = None
+                self._live -= 1
                 return ev
         return None
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest pending event, or ``None`` if empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     def clear(self) -> None:
-        """Drop every pending event."""
+        """Drop every pending event, marking each one cancelled so held
+        handles do not keep reporting ``active`` for events that can
+        never fire."""
+        for entry in self._heap:
+            ev = entry[3]
+            ev.cancelled = True
+            ev._queue = None
         self._heap.clear()
+        self._live = 0
+
+    def live_count_check(self) -> tuple[int, int]:
+        """``(tracked, actual)`` pending counts — ``tracked`` is the O(1)
+        live counter behind ``len()``, ``actual`` an O(n) scan of the
+        heap.  Used by the validate invariants to assert they agree."""
+        actual = sum(1 for entry in self._heap if not entry[3].cancelled)
+        return self._live, actual

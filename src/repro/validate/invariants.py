@@ -5,8 +5,9 @@ When the ``REPRO_VALIDATE=1`` environment flag is set (or a test calls
 along with every :class:`~repro.kernel.core_sched.Kernel` and checks,
 *while real experiments run*:
 
-* **simcore** — the event clock never moves backwards and a cancelled
-  event is never delivered;
+* **simcore** — the event clock never moves backwards, a cancelled
+  event is never delivered, and the queue's O(1) live pending count
+  (what ``len()`` reports) agrees with a scan of the heap;
 * **kernel core** — CPU-time conservation: the occupancy charged to
   tasks on a logical CPU never exceeds the wall-clock time that CPU has
   existed (and per-task ``sum_exec_runtime`` never exceeds ``now``);
@@ -83,6 +84,14 @@ class KernelOracles:
                 f"t={self._last_event_time}"
             )
         self._last_event_time = event.time
+        # The O(1) live pending counter behind len(queue) must agree
+        # with an O(n) scan of the heap at every delivery boundary.
+        tracked, actual = self.kernel.sim.queue.live_count_check()
+        if tracked != actual:
+            self._fail(
+                f"event-queue live count out of sync: tracked {tracked}, "
+                f"heap holds {actual} pending events"
+            )
 
     # -- kernel core ---------------------------------------------------
     def on_account(self, cpu: int, task: "Task", delta: float, now: float) -> None:

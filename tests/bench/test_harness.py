@@ -1,0 +1,208 @@
+"""Bench harness: suite execution, report I/O, regression comparison,
+and the ``repro bench`` CLI path."""
+
+import json
+
+import pytest
+
+from repro.bench import harness
+from repro.bench.scenarios import event_storm_chain, event_storm_deep
+from repro.cli import main
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+def test_storm_chain_deterministic_event_count():
+    assert event_storm_chain(500) == 500
+    assert event_storm_chain(500) == 500
+
+
+def test_storm_deep_deterministic_event_count():
+    # chains * (n // chains) events, independent of scheduling noise
+    assert event_storm_deep(1000, chains=16) == 16 * (1000 // 16)
+
+
+# ----------------------------------------------------------------------
+# Suite + report structure
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def tiny_report():
+    lines = []
+    report = harness.run_suite(
+        quick=True,
+        label="test",
+        rounds=1,
+        storm_events=2_000,
+        progress=lines.append,
+    )
+    return report, lines
+
+
+def test_run_suite_covers_storms_and_experiment(tiny_report):
+    report, lines = tiny_report
+    names = set(report.records)
+    assert {"event_storm_chain", "event_storm_deep", "metbench_uniform"} <= names
+    assert len(lines) == len(report.records)
+    for rec in report.records.values():
+        assert rec.wall_s > 0
+        assert rec.events > 0
+        assert rec.events_per_sec > 0
+
+
+def test_report_dict_is_schema_versioned(tiny_report):
+    report, _ = tiny_report
+    data = report.to_dict()
+    assert data["schema"] == harness.SCHEMA_VERSION
+    assert data["label"] == "test"
+    assert data["quick"] is True
+    assert data["benchmarks"]["event_storm_chain"]["params"] == {"events": 2_000}
+    # peak RSS is recorded on POSIX platforms
+    assert data["peak_rss_kb"] is None or data["peak_rss_kb"] > 0
+
+
+def test_write_and_load_roundtrip(tiny_report, tmp_path):
+    report, _ = tiny_report
+    path = tmp_path / "BENCH_test.json"
+    harness.write_report(report, path)
+    data = harness.load_report(path)
+    assert data["benchmarks"].keys() == report.records.keys()
+
+
+def test_load_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "BENCH_bad.json"
+    path.write_text(json.dumps({"schema": 999, "benchmarks": {}}))
+    with pytest.raises(harness.BenchFormatError):
+        harness.load_report(path)
+    path.write_text(json.dumps({"nope": 1}))
+    with pytest.raises(harness.BenchFormatError):
+        harness.load_report(path)
+    path.write_text(json.dumps({"schema": harness.SCHEMA_VERSION}))
+    with pytest.raises(harness.BenchFormatError):
+        harness.load_report(path)
+
+
+# ----------------------------------------------------------------------
+# Baseline discovery + comparison
+# ----------------------------------------------------------------------
+def _report_dict(eps, params=None):
+    return {
+        "schema": harness.SCHEMA_VERSION,
+        "benchmarks": {
+            "event_storm_chain": {
+                "events_per_sec": eps,
+                "params": params or {"events": 1000},
+            }
+        },
+    }
+
+
+def test_find_baseline_picks_newest_and_skips_exclude(tmp_path):
+    a = tmp_path / "BENCH_a.json"
+    b = tmp_path / "BENCH_b.json"
+    out = tmp_path / "BENCH_out.json"
+    for i, p in enumerate([a, b, out]):
+        p.write_text("{}")
+        # mtime strictly increasing: a < b < out
+        import os
+
+        os.utime(p, (1000 + i, 1000 + i))
+    assert harness.find_baseline(tmp_path, exclude=out) == b
+    assert harness.find_baseline(tmp_path / "empty", exclude=None) is None
+
+
+def test_compare_flags_regression_beyond_threshold():
+    rows = harness.compare_reports(
+        _report_dict(700.0), _report_dict(1000.0), threshold=0.20
+    )
+    assert len(rows) == 1
+    assert rows[0]["regressed"] is True
+    assert rows[0]["ratio"] == pytest.approx(0.7)
+
+
+def test_compare_tolerates_drop_within_threshold_and_gains():
+    rows = harness.compare_reports(
+        _report_dict(900.0), _report_dict(1000.0), threshold=0.20
+    )
+    assert rows[0]["regressed"] is False
+    rows = harness.compare_reports(
+        _report_dict(2000.0), _report_dict(1000.0), threshold=0.20
+    )
+    assert rows[0]["regressed"] is False
+    assert rows[0]["ratio"] == pytest.approx(2.0)
+
+
+def test_compare_skips_mismatched_params_and_missing_benchmarks():
+    cur = _report_dict(500.0, params={"events": 2000})
+    base = _report_dict(1000.0, params={"events": 200000})
+    assert harness.compare_reports(cur, base) == []
+    assert harness.compare_reports(cur, {"schema": 1, "benchmarks": {}}) == []
+    # zero-throughput baselines are skipped, not divided by
+    assert harness.compare_reports(_report_dict(500.0), _report_dict(0.0)) == []
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _cli_bench(tmp_path, capsys, *extra):
+    # Tiny 1-round storms are far too noisy for the default 20%
+    # threshold, so the tests pass 0.99: only the fabricated
+    # million-fold baseline of the regression test can trip it.
+    code = main(
+        [
+            "bench",
+            "--quick",
+            "--rounds", "1",
+            "--storm-events", "2000",
+            "--threshold", "0.99",
+            "--out", str(tmp_path),
+            *extra,
+        ]
+    )
+    return code, capsys.readouterr()
+
+
+def test_cli_bench_records_then_diffs(tmp_path, capsys):
+    code, captured = _cli_bench(tmp_path, capsys, "--label", "first")
+    assert code == 0
+    assert "no baseline found" in captured.out
+    assert (tmp_path / "BENCH_first.json").exists()
+
+    # Second run auto-discovers the first as its baseline and embeds
+    # the comparison in its own report.
+    code, captured = _cli_bench(tmp_path, capsys, "--label", "second")
+    assert code == 0
+    assert "vs " in captured.out and "BENCH_first.json" in captured.out
+    data = harness.load_report(tmp_path / "BENCH_second.json")
+    assert data["vs_baseline"]["rows"]
+
+
+def test_cli_bench_fails_on_regression(tmp_path, capsys):
+    # A fabricated super-fast baseline forces a >threshold regression.
+    fake = {
+        "schema": harness.SCHEMA_VERSION,
+        "benchmarks": {
+            "event_storm_chain": {
+                "events_per_sec": 1e12,
+                "params": {"events": 2000},
+            }
+        },
+    }
+    baseline = tmp_path / "BENCH_fake.json"
+    baseline.write_text(json.dumps(fake))
+    code, captured = _cli_bench(
+        tmp_path, capsys, "--label", "slow", "--baseline", str(baseline)
+    )
+    assert code == 1
+    assert "REGRESSED" in captured.out
+    assert "PERFORMANCE REGRESSION" in captured.err
+
+
+def test_cli_bench_ignores_malformed_baseline(tmp_path, capsys):
+    bad = tmp_path / "BENCH_bad.json"
+    bad.write_text(json.dumps({"schema": 999, "benchmarks": {}}))
+    code, captured = _cli_bench(
+        tmp_path, capsys, "--label", "x", "--baseline", str(bad)
+    )
+    assert code == 0
+    assert "baseline ignored" in captured.err

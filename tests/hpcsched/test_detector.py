@@ -41,6 +41,22 @@ def test_utilization_clamped_to_one():
     assert util == 1.0
 
 
+def test_global_util_clamped_consistently_with_iteration_util():
+    """Regression: close_iteration clamped the per-iteration ratio but
+    accumulated the raw run time, letting Ug = total_run/total_time
+    exceed 1.0 under accounting jitter (run > wall)."""
+    st = HPCTaskStats(pid=1)
+    st.iter_start = 0.0
+    st.close_iteration(now=1.0, run_now=2.0)  # jitter: tr > ti
+    assert st.global_util <= 1.0
+    assert st.total_run == pytest.approx(st.total_time)
+    # last_tr is clamped too, so a history reset stays consistent.
+    st.reset_history()
+    assert st.global_util <= 1.0
+    st.close_iteration(now=2.0, run_now=2.5)
+    assert st.global_util <= 1.0
+
+
 def test_zero_duration_iteration_ignored():
     st = HPCTaskStats(pid=1)
     st.iter_start = 5.0
@@ -189,6 +205,32 @@ def test_small_fluctuations_do_not_thaw(quiet_kernel):
     assert env.detector.frozen
     env.round([0.92, 0.85])  # within rebalance_delta (12 pts)
     assert env.detector.frozen
+
+
+def test_task_arrival_thaws_clears_refs_and_allows_refreeze(quiet_kernel):
+    """Regression: task_added reset the state machine to adjusting but
+    left ``_freeze_ref`` populated from the previous freeze, so the next
+    frozen period compared against stale references.  Covers
+    FROZEN -> task_added -> re-freeze."""
+    env = _Env(quiet_kernel)
+    env.round([0.99, 0.2])
+    env.round([0.95, 0.93])
+    assert env.detector.frozen
+    assert env.detector._freeze_ref  # references exist while frozen
+
+    # A third task joins the application: thaw via task arrival.
+    t = env.kernel.create_task("w2", pure_compute_program(1.0))
+    t.sleeping_on_wait = True
+    env.detector.task_added(t)
+    env.tasks.append(t)
+    assert env.detector.state == "adjusting"
+    assert env.detector._freeze_ref == {}  # stale references cleared
+
+    # The detector re-freezes on the new membership with fresh refs.
+    env.round([0.95, 0.93, 0.94])  # new task promoted -> observing
+    env.round([0.95, 0.93, 0.94])  # quiet round -> frozen
+    assert env.detector.frozen
+    assert set(env.detector._freeze_ref) == {task.pid for task in env.tasks}
 
 
 def test_task_removed_cleans_up(quiet_kernel):

@@ -76,6 +76,72 @@ def test_stop_requested_from_event():
     assert fired == [1]
 
 
+def test_event_exactly_at_horizon_fires():
+    """An event at precisely t == until is *inside* the horizon: only
+    events strictly beyond it stay queued."""
+    sim = Simulator()
+    fired = []
+    sim.at(5.0, lambda: fired.append("edge"))
+    sim.at(5.0 + 1e-9, lambda: fired.append("beyond"))
+    end = sim.run(until=5.0)
+    assert fired == ["edge"]
+    assert end == 5.0
+    assert len(sim.queue) == 1  # the beyond-horizon event survives
+
+
+def test_stop_when_firing_on_final_event_before_horizon_clamp():
+    """stop_when triggered by the last in-horizon event: with work still
+    queued the clock stays at the stopping event's time; only when that
+    event drained the queue does the horizon clamp advance the clock."""
+    sim = Simulator()
+    fired = []
+    sim.at(2.0, lambda: fired.append(1))
+    sim.at(20.0, lambda: fired.append(2))  # beyond the horizon, pending
+    end = sim.run(until=10.0, stop_when=lambda: len(fired) >= 1)
+    assert fired == [1]
+    assert end == 2.0  # not clamped: the queue is not drained
+    assert sim.now == 2.0
+
+
+def test_empty_queue_after_final_event_still_clamps_to_horizon():
+    """The documented clamp: a drained queue advances the clock to the
+    horizon, even when stop_when fired on that final event."""
+    sim = Simulator()
+    fired = []
+    sim.at(2.0, lambda: fired.append(1))
+    end = sim.run(until=10.0, stop_when=lambda: len(fired) >= 1)
+    assert fired == [1]
+    assert end == 10.0
+
+
+def test_stop_from_inside_callback_with_horizon():
+    """stop() requested from inside an event callback halts the loop
+    after that event even when later events sit inside the horizon."""
+    sim = Simulator()
+    fired = []
+    sim.at(1.0, lambda: (fired.append(1), sim.stop()))
+    sim.at(2.0, lambda: fired.append(2))
+    end = sim.run(until=5.0)
+    assert fired == [1]
+    assert end == 1.0
+    # the stopped run left the pending event intact; a fresh run resumes
+    end = sim.run(until=5.0)
+    assert fired == [1, 2]
+    assert end == 5.0
+
+
+def test_stop_from_callback_skips_same_instant_events():
+    """stop() is honoured between events even at an identical timestamp
+    (the event being processed completes, nothing else fires)."""
+    sim = Simulator()
+    fired = []
+    sim.at(1.0, lambda: (fired.append("a"), sim.stop()), priority=0)
+    sim.at(1.0, lambda: fired.append("b"), priority=1)
+    sim.run()
+    assert fired == ["a"]
+    assert len(sim.queue) == 1
+
+
 def test_events_can_schedule_events():
     sim = Simulator()
     fired = []

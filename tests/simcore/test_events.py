@@ -65,14 +65,30 @@ def test_pop_empty_returns_none():
     assert EventQueue().pop() is None
 
 
-def test_len_counts_entries_including_cancelled_until_popped():
+def test_len_excludes_lazily_cancelled_events():
+    """Regression: len() used to report heap entries, counting cancelled
+    corpses awaiting lazy removal.  It must track *pending* events."""
     q = EventQueue()
     ev = q.push(1.0, lambda: None)
     assert len(q) == 1
     ev.cancel()
-    assert len(q) == 1  # lazy deletion
+    assert len(q) == 0  # cancelled immediately; lazy heap removal is internal
     assert q.pop() is None
     assert len(q) == 0
+
+
+def test_len_tracks_push_cancel_pop_mix():
+    q = EventQueue()
+    handles = [q.push(float(i), lambda: None) for i in range(5)]
+    assert len(q) == 5
+    handles[0].cancel()
+    handles[3].cancel()
+    handles[3].cancel()  # double-cancel must not double-decrement
+    assert len(q) == 3
+    assert q.pop() is handles[1]
+    assert len(q) == 2
+    tracked, actual = q.live_count_check()
+    assert tracked == actual == 2
 
 
 def test_clear():
@@ -80,6 +96,23 @@ def test_clear():
     q.push(1.0, lambda: None)
     q.clear()
     assert q.pop() is None
+    assert len(q) == 0
+
+
+def test_clear_marks_held_handles_cancelled():
+    """Regression: clear() used to drop events without flagging them, so
+    held handles kept reporting active for events that can never fire."""
+    q = EventQueue()
+    ev1 = q.push(1.0, lambda: None)
+    ev2 = q.push(2.0, lambda: None)
+    q.clear()
+    assert ev1.cancelled and not ev1.active
+    assert ev2.cancelled and not ev2.active
+    # A cleared handle can be cancel()ed again without corrupting the count.
+    ev1.cancel()
+    assert len(q) == 0
+    tracked, actual = q.live_count_check()
+    assert tracked == actual == 0
 
 
 @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
@@ -168,6 +201,8 @@ def test_property_interleaved_ops_match_reference_model(ops):
             assert (got.time, got.priority) == (expect[0], expect[1])
             assert handles[expect[2]] is got  # FIFO among full ties
             model.remove(expect)
+        # The live count must track the model after every operation.
+        assert len(q) == sum(1 for e in model if e[2] not in cancelled)
 
     # Drain: the remainder must come out in model order, no cancelled
     # event ever surfacing.
