@@ -33,13 +33,17 @@ import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.scenarios import (
     DEFAULT_STORM_CHAINS,
     DEFAULT_STORM_EVENTS,
+    DEFAULT_WIDE_CHAINS,
+    DEFAULT_WIDE_NODES,
+    cluster_metbench,
     event_storm_chain,
     event_storm_deep,
+    event_storm_wide,
 )
 
 #: Bump on any incompatible change to the report layout.
@@ -48,6 +52,19 @@ SCHEMA_VERSION = 1
 #: Default regression threshold: fail when a benchmark's events/sec
 #: drops more than this fraction below the baseline.
 DEFAULT_THRESHOLD = 0.20
+
+#: Every benchmark name the suite can produce, for --scenario filter
+#: validation.  Experiment entries are per-scheduler.
+SCENARIO_NAMES = (
+    "event_storm_chain",
+    "event_storm_deep",
+    "event_storm_wide",
+    "metbench_cfs",
+    "metbench_uniform",
+    "metbench_adaptive",
+    "cluster_metbench_16",
+    "cluster_metbench_64",
+)
 
 
 @dataclass
@@ -152,18 +169,33 @@ def run_suite(
     rounds: Optional[int] = None,
     storm_events: int = DEFAULT_STORM_EVENTS,
     progress: Optional[Callable[[str], None]] = None,
+    scenarios: Optional[Sequence[str]] = None,
 ) -> BenchReport:
-    """Run the full bench suite and return the report.
+    """Run the bench suite (or a subset) and return the report.
 
     ``rounds`` defaults to 3 in quick mode and 5 otherwise;
     ``storm_events`` is exposed for the unit tests (tiny storms) and is
     recorded in each storm's ``params`` so mismatched-size reports never
-    get compared.  ``progress`` receives one line per benchmark.
+    get compared.  ``scenarios`` restricts the run to the named
+    benchmarks (see :data:`SCENARIO_NAMES`); cluster scenarios keep
+    identical parameters in quick and full mode, so their numbers stay
+    comparable across modes.  ``progress`` receives one line per
+    benchmark.
     """
     if rounds is None:
         rounds = 3 if quick else 5
+    if scenarios is not None:
+        unknown = sorted(set(scenarios) - set(SCENARIO_NAMES))
+        if unknown:
+            raise ValueError(
+                f"unknown scenario(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(SCENARIO_NAMES)}"
+            )
     say = progress or (lambda _msg: None)
     report = BenchReport(label=label, quick=quick)
+
+    def wanted(name: str) -> bool:
+        return scenarios is None or name in scenarios
 
     # ------------------------------------------------------------------
     # Engine storms: raw event throughput.
@@ -181,6 +213,8 @@ def run_suite(
         ),
     ]
     for name, fn, params in storms:
+        if not wanted(name):
+            continue
         rec = _record(name, fn, rounds, params)
         report.records[name] = rec
         say(
@@ -201,6 +235,9 @@ def run_suite(
         exp_rounds = 2
 
     for sched, iters in exp_cases:
+        name = f"metbench_{sched}"
+        if not wanted(name):
+            continue
         holder: Dict[str, int] = {}
 
         def run_exp(sched: str = sched, iters: Optional[int] = iters) -> int:
@@ -209,10 +246,42 @@ def run_suite(
             holder["events"] = result.kernel.sim.events_processed
             return holder["events"]
 
-        name = f"metbench_{sched}"
         rec = _record(
             name, run_exp, exp_rounds, {"scheduler": sched, "iterations": iters}
         )
+        report.records[name] = rec
+        say(
+            f"{name}: {rec.wall_s * 1e3:.1f} ms, "
+            f"{rec.events} events ({rec.events_per_sec:,.0f} events/s)"
+        )
+
+    # ------------------------------------------------------------------
+    # Cluster scale-out: wide synchronization storm + gang experiment.
+    # Parameters are identical in quick and full mode (only the round
+    # count shrinks), so cluster numbers compare across modes.
+    # ------------------------------------------------------------------
+    cluster_rounds = min(rounds, 2)
+    cluster_cases = [
+        (
+            "event_storm_wide",
+            lambda: event_storm_wide(DEFAULT_WIDE_CHAINS, DEFAULT_WIDE_NODES),
+            {"chains": DEFAULT_WIDE_CHAINS, "nodes": DEFAULT_WIDE_NODES},
+        ),
+        (
+            "cluster_metbench_16",
+            lambda: cluster_metbench(n_nodes=16, iterations=2),
+            {"nodes": 16, "iterations": 2, "placements": "block+gang"},
+        ),
+        (
+            "cluster_metbench_64",
+            lambda: cluster_metbench(n_nodes=64, iterations=2),
+            {"nodes": 64, "iterations": 2, "placements": "block+gang"},
+        ),
+    ]
+    for name, fn, params in cluster_cases:
+        if not wanted(name):
+            continue
+        rec = _record(name, fn, cluster_rounds, params)
         report.records[name] = rec
         say(
             f"{name}: {rec.wall_s * 1e3:.1f} ms, "

@@ -12,7 +12,23 @@ Two synthetic event storms bracket the engine's behaviour:
   reschedules across every CPU), so ``Event.__lt__`` and heap sifting
   dominate.
 
-Both are deterministic: same arguments, same event count.
+Two cluster-scale scenarios exercise the scale-out path on top of the
+full stack (paper §VI: "modern Supercomputers consist of thousands of
+nodes"):
+
+* :func:`event_storm_wide` — a synchronization storm across a 64-node
+  cluster: 256 pinned ranks iterating tiny compute+barrier cycles, 4096
+  compute-phase chains in total.  Per delivered event the engine pays
+  the cluster stop predicate and every context switch pays the sibling
+  rate-propagation path, so this measures exactly the per-event and
+  per-rate-change overhead that scale-out amplifies.
+* :func:`cluster_metbench` — the paper's MetBench load ladder placed on
+  N nodes under *both* block and gang placement (the PR's
+  ``cluster_metbench_16`` / ``cluster_metbench_64`` benchmarks), with
+  one HPCSched per node.  End-to-end cluster throughput, balance timers
+  and all.
+
+All scenarios are deterministic: same arguments, same event count.
 """
 
 from __future__ import annotations
@@ -25,6 +41,13 @@ DEFAULT_STORM_EVENTS = 200_000
 
 #: Concurrent chains of the deep storm (heap depth while running).
 DEFAULT_STORM_CHAINS = 512
+
+#: Total compute-phase chains of the wide (cluster) storm:
+#: ranks x iterations.
+DEFAULT_WIDE_CHAINS = 4096
+
+#: Nodes of the wide storm's cluster (4 logical CPUs each).
+DEFAULT_WIDE_NODES = 64
 
 
 def event_storm_chain(n: int = DEFAULT_STORM_EVENTS) -> int:
@@ -58,3 +81,59 @@ def event_storm_deep(
         hop(c, 0)
     sim.run()
     return sim.events_processed
+
+
+def event_storm_wide(
+    chains: int = DEFAULT_WIDE_CHAINS, n_nodes: int = DEFAULT_WIDE_NODES
+) -> int:
+    """Cluster-wide synchronization storm; returns events processed.
+
+    One pinned rank per logical CPU of an ``n_nodes``-node cluster
+    (4 CPUs per node), each iterating a near-zero compute phase plus a
+    global barrier until ``chains`` compute-phase chains have run
+    (``chains // ranks`` iterations).  Loads are staggered by a
+    microsecond per rank so phase completions stay distinct and the
+    heap keeps thousands of concurrent chains (phases, wakeups,
+    reschedules, balance timers) in flight.  No HPCSched: the storm
+    isolates kernel + engine scale-out cost from heuristic cost.
+    """
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.gang import block_placement
+    from repro.mpi.process import MPIRank
+
+    cluster = Cluster(n_nodes=n_nodes, heuristic_factory=None)
+    cpn = cluster.cpus_per_node
+    ranks = n_nodes * cpn
+    iterations = max(1, chains // ranks)
+
+    def worker(load: float):
+        def factory(mpi: MPIRank):
+            def prog():
+                for _ in range(iterations):
+                    yield mpi.compute(load)
+                    yield mpi.barrier()
+
+            return prog()
+
+        return factory
+
+    programs = [worker(4e-4 + r * 1e-6) for r in range(ranks)]
+    cluster.launch(programs, block_placement(ranks, n_nodes, cpn))
+    cluster.run()
+    return cluster.sim.events_processed
+
+
+def cluster_metbench(n_nodes: int = 16, iterations: int = 2) -> int:
+    """The paper's MetBench ladder on ``n_nodes`` nodes, run under both
+    block and gang placement with one HPCSched per node; returns the
+    total events processed across both runs."""
+    from repro.cluster.experiment import ladder_loads, run_cluster
+
+    loads = ladder_loads(4 * n_nodes)
+    total = 0
+    for strategy in ("block", "gang"):
+        result = run_cluster(
+            strategy, loads=loads, iterations=iterations, n_nodes=n_nodes
+        )
+        total += result.events
+    return total

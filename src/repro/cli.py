@@ -187,6 +187,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="event count per synthetic storm (default 200000; mainly "
         "for tests — reports with different sizes are never compared)",
     )
+    ben.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="run only the named benchmark (repeatable), e.g. "
+        "event_storm_wide or cluster_metbench_64",
+    )
+    clu = sub.add_parser(
+        "cluster",
+        help="run the multi-node gang-scheduling experiment "
+        "(paper §VI: block vs gang placement at cluster scale)",
+    )
+    clu.add_argument(
+        "--nodes", type=int, default=2,
+        help="cluster size in nodes of 4 logical CPUs (default 2)",
+    )
+    clu.add_argument(
+        "--placement", choices=["block", "gang", "both"], default="both",
+        help="rank placement strategy to run (default: both, with a "
+        "speedup summary)",
+    )
+    clu.add_argument(
+        "--ranks", type=int, default=None,
+        help="MPI ranks on the generalized load ladder "
+        "(default: 4 per node, one per logical CPU)",
+    )
+    clu.add_argument(
+        "--iterations", type=int, default=None,
+        help="barrier-synchronized iterations per rank (default 10)",
+    )
+    clu.add_argument(
+        "--no-hpc", action="store_true",
+        help="run plain CFS on every node instead of one HPCSched "
+        "instance per node",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list" or args.command is None:
@@ -205,6 +238,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _validate(args)
     if args.command == "bench":
         return _bench(args)
+    if args.command == "cluster":
+        return _cluster(args)
     parser.print_help()
     return 1
 
@@ -447,14 +482,20 @@ def _bench(args) -> int:
     kwargs = {}
     if args.storm_events is not None:
         kwargs["storm_events"] = args.storm_events
+    if args.scenario is not None:
+        kwargs["scenarios"] = args.scenario
 
-    report = harness.run_suite(
-        quick=args.quick,
-        label=args.label,
-        rounds=args.rounds,
-        progress=lambda line: print(f"  {line}"),
-        **kwargs,
-    )
+    try:
+        report = harness.run_suite(
+            quick=args.quick,
+            label=args.label,
+            rounds=args.rounds,
+            progress=lambda line: print(f"  {line}"),
+            **kwargs,
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
 
     if args.baseline is not None:
         baseline_path = Path(args.baseline)
@@ -493,6 +534,60 @@ def _bench(args) -> int:
     if regressed:
         print("PERFORMANCE REGRESSION beyond threshold", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cluster(args) -> int:
+    """``cluster``: block vs gang placement on an N-node cluster."""
+    from repro.cluster.experiment import (
+        DEFAULT_ITERATIONS,
+        ladder_loads,
+        run_cluster,
+    )
+
+    n_ranks = args.ranks if args.ranks is not None else 4 * args.nodes
+    iterations = (
+        args.iterations if args.iterations is not None else DEFAULT_ITERATIONS
+    )
+    try:
+        loads = ladder_loads(n_ranks)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    strategies = (
+        ["block", "gang"] if args.placement == "both" else [args.placement]
+    )
+    print(
+        f"cluster: {args.nodes} nodes x 4 CPUs, {n_ranks} ranks, "
+        f"{iterations} iterations, "
+        f"{'CFS only' if args.no_hpc else 'HPCSched per node'}"
+    )
+    exec_times = {}
+    for strategy in strategies:
+        try:
+            result = run_cluster(
+                strategy,
+                loads=loads,
+                iterations=iterations,
+                n_nodes=args.nodes,
+                use_hpc=not args.no_hpc,
+            )
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        exec_times[strategy] = result.exec_time
+        node_loads = result.node_loads
+        spread = max(node_loads.values()) - min(node_loads.values())
+        print(
+            f"  {strategy:<5} exec {result.exec_time:8.2f}s   "
+            f"node-load spread {spread:6.2f}   "
+            f"events {result.events:,}"
+        )
+    if len(exec_times) == 2 and exec_times["gang"] > 0:
+        print(
+            f"  gang speedup over block: "
+            f"{exec_times['block'] / exec_times['gang']:.2f}x"
+        )
     return 0
 
 

@@ -43,10 +43,19 @@ class ClusterNode:
         sim: Simulator,
         heuristic_factory: Optional[Callable[[], Heuristic]],
         topology: MachineTopology,
+        collect_traces: bool = False,
+        collect_pmu: bool = False,
     ) -> None:
         self.node_id = node_id
         machine = Machine(topology, TableDrivenModel())
-        self.kernel = Kernel(machine=machine, sim=sim, trace=TraceCollector())
+        # Tracing and PMU attribution are opt-in at cluster scale:
+        # recording every context switch / wake / block (and advancing
+        # per-core counters on every rate change) across hundreds of
+        # CPUs costs real wall time, and nothing consumes the per-node
+        # streams or counters by default.
+        trace = TraceCollector() if collect_traces else None
+        self.kernel = Kernel(machine=machine, sim=sim, trace=trace)
+        self.kernel.pmu_enabled = collect_pmu
         self.hpc_class = None
         if heuristic_factory is not None:
             self.hpc_class = attach_hpcsched(self.kernel, heuristic_factory())
@@ -61,12 +70,21 @@ class Cluster:
         heuristic_factory: Optional[Callable[[], Heuristic]] = UniformHeuristic,
         topology: Optional[MachineTopology] = None,
         interconnect: Optional[InterconnectModel] = None,
+        collect_traces: bool = False,
+        collect_pmu: bool = False,
     ) -> None:
         self.sim = Simulator()
         self.topology = topology or MachineTopology()
         self.interconnect = interconnect or InterconnectModel()
         self.nodes: List[ClusterNode] = [
-            ClusterNode(i, self.sim, heuristic_factory, self.topology)
+            ClusterNode(
+                i,
+                self.sim,
+                heuristic_factory,
+                self.topology,
+                collect_traces,
+                collect_pmu,
+            )
             for i in range(n_nodes)
         ]
         self._rank_node: Dict[int, int] = {}
@@ -74,6 +92,15 @@ class Cluster:
             self.nodes[0].kernel, route_delay=self._route_delay
         )
         self.use_hpc = heuristic_factory is not None
+        #: Aggregate live-task count across all nodes, maintained by the
+        #: kernels' on_live_change hooks so :meth:`run` can stop on an
+        #: O(1) counter test instead of scanning every node per event.
+        self._live_total = 0
+        for node in self.nodes:
+            node.kernel.on_live_change = self._note_live_change
+
+    def _note_live_change(self, delta: int) -> None:
+        self._live_total += delta
 
     # ------------------------------------------------------------------
     @property
@@ -130,5 +157,5 @@ class Cluster:
         """Run until every node's application tasks exited."""
         return self.sim.run(
             until=until,
-            stop_when=lambda: all(n.kernel.live_tasks == 0 for n in self.nodes),
+            stop_when=lambda: self._live_total == 0,
         )

@@ -26,11 +26,23 @@ DEFAULT_LOADS = [0.45, 0.47, 0.49, 0.51, 3.15, 3.29, 3.43, 3.57]
 DEFAULT_ITERATIONS = 10
 
 
+def ladder_loads(n_ranks: int) -> list:
+    """The 8-rank paper ladder generalized to ``n_ranks``: cycle the
+    base loads and sort ascending, so the first half stays light and
+    the per-node heavy/light mix matches the paper's at any scale."""
+    if n_ranks <= 0:
+        raise ValueError(f"need at least one rank, got {n_ranks}")
+    base = DEFAULT_LOADS
+    return sorted(base[i % len(base)] for i in range(n_ranks))
+
+
 @dataclass
 class ClusterRunResult:
     placement: GangPlacement
     exec_time: float
     node_loads: Dict[int, float]
+    #: Simulation events the shared engine delivered for this run.
+    events: int = 0
 
 
 def _worker(load: float, iterations: int):
@@ -73,4 +85,5 @@ def run_cluster(
         placement=placement,
         exec_time=exec_time,
         node_loads=placement.node_loads(loads),
+        events=cluster.sim.events_processed,
     )

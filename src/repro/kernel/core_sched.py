@@ -10,8 +10,14 @@ rate determined by the POWER5 SMT state of the core they run on.
 
 Rates change only at discrete events — a context switch on either SMT
 context, a hardware-priority change, a sibling going idle — and each
-such event banks the accrued work and reschedules the phase-completion
-event, which makes the fluid model exact.
+such event banks the accrued work and revalidates the phase-completion
+event, which makes the fluid model exact.  Revalidation is *lazy* (see
+DESIGN §8): rate changes within one delivered event are batched into a
+single per-core drain, an unchanged rate leaves the pending completion
+event untouched, and a slowdown lets the now-early event ride in the
+heap — an epoch counter marks it stale and delivery re-pushes one
+corrected event at the authoritative ETA.  Only a speedup, whose true
+completion would precede the pending event, pays a cancel + re-push.
 """
 
 from __future__ import annotations
@@ -89,6 +95,11 @@ class Kernel:
 
         #: Simulated performance counters (decode shares, ST time, ...).
         self.pmu = MachinePMU(self.machine)
+        #: Whether the PMU is advanced on rate changes.  Pure
+        #: observability — it never feeds back into scheduling — so a
+        #: multi-node driver that reads no counters (the cluster, by
+        #: default) can turn it off and skip the per-switch attribution.
+        self.pmu_enabled = True
 
         self.rt = RTClass(self)
         self.fair = FairClass(self)
@@ -110,9 +121,22 @@ class Kernel:
         #: Live (started, not exited) non-daemon tasks; the run loop
         #: stops when this reaches zero.
         self.live_tasks = 0
+        #: Optional observer of live-task count changes, called with the
+        #: delta (+1 start, -1 exit).  A multi-kernel driver (the cluster)
+        #: uses it to keep an O(1) aggregate stop predicate instead of
+        #: scanning every node's kernel after every event.
+        self.on_live_change: Optional[Any] = None
+        #: Tasks queued on any runqueue (sum of ``rq.nr_queued``); lets
+        #: the balance timer and the idle-pull path skip whole-machine
+        #: scans when nothing is waiting anywhere.
+        self._queued_total = 0
         self.context_switches = 0
         self.migrations = 0
         self._balance_started = False
+        #: Cores whose SMT state changed during the event being
+        #: processed, keyed by core id → (core, skip_ctx); drained once
+        #: per delivered event via ``Simulator.defer``.
+        self._dirty_cores: Dict[int, Any] = {}
 
         self._boot()
 
@@ -211,6 +235,8 @@ class Kernel:
         task.sched_class.task_new(self.rqs[cpu], task)
         if not getattr(task, "daemon", False):
             self.live_tasks += 1
+            if self.on_live_change is not None:
+                self.on_live_change(1)
         self._trace(task, "wake", cpu=cpu)
         self._enqueue(task, cpu, wakeup=False)
         self._check_preempt(cpu, task)
@@ -235,6 +261,8 @@ class Kernel:
         rq.current = None
         if not getattr(task, "daemon", False):
             self.live_tasks -= 1
+            if self.on_live_change is not None:
+                self.on_live_change(-1)
         if task.on_exit is not None:
             task.on_exit(task)
         self.__schedule(cpu)
@@ -304,6 +332,7 @@ class Kernel:
         task.sched_class.task_placed(rq, task)
         task.sched_class.enqueue_task(rq, task)
         rq.nr_queued += 1
+        self._queued_total += 1
         task.last_enqueue_time = self.sim.now
         self._update_tick(cpu)
 
@@ -312,16 +341,40 @@ class Kernel:
         rq = self.rqs[task.cpu]
         task.sched_class.dequeue_task(rq, task)
         rq.nr_queued -= 1
+        self._queued_total -= 1
 
     def migrate(self, task: Task, dst: int) -> None:
-        """Move a queued (READY) task to another CPU's runqueue."""
-        if task.state != TaskState.READY:
-            raise ValueError(f"can only migrate queued tasks, not {task!r}")
+        """Move a READY or RUNNING task to another CPU's runqueue.
+
+        A queued task is simply dequeued and re-enqueued.  A running
+        task is switched out first — occupancy charged, phase progress
+        banked, completion event dropped — and its source CPU picks a
+        replacement *before* the task lands on ``dst``, so the source's
+        idle pull cannot immediately steal it back.
+        """
         if not task.allows_cpu(dst):
             raise ValueError(f"{task!r} not allowed on cpu{dst}")
         if task.cpu == dst:
             return
-        self._dequeue(task)
+        if task.state == TaskState.READY:
+            self._dequeue(task)
+        elif task.state == TaskState.RUNNING:
+            src = task.cpu
+            assert src is not None
+            rq = self.rqs[src]
+            assert rq.current is task
+            self.update_curr(rq)
+            task.bank_progress(self.sim.now)
+            task.cancel_phase_event()
+            task.state = TaskState.READY
+            task.sched_class.put_prev_task(rq, task)
+            self._trace(task, "preempted", cpu=src)
+            rq.current = None
+            self._schedule(src)
+        else:
+            raise ValueError(
+                f"can only migrate READY or RUNNING tasks, not {task!r}"
+            )
         self.migrations += 1
         self._trace(task, "migrate", cpu=dst)
         self._enqueue(task, dst, wakeup=False)
@@ -461,7 +514,7 @@ class Kernel:
                 self._check_preempt(dst, prev)
 
         next_task = self._pick_next(rq)
-        if next_task.is_idle_task and rq.nr_queued == 0:
+        if next_task.is_idle_task and rq.nr_queued == 0 and self._queued_total:
             pulled = self.balancer.idle_pull(cpu)
             if pulled is not None:
                 next_task = self._pick_next(rq)
@@ -482,6 +535,7 @@ class Kernel:
             if task is not None:
                 if not task.is_idle_task:
                     rq.nr_queued -= 1
+                    self._queued_total -= 1
                 return task
         raise RuntimeError("scheduler found no task (idle class broken)")
 
@@ -536,50 +590,159 @@ class Kernel:
         if rate <= 0.0:
             return  # stalled; a future rate change restarts the phase
         eta = now + delay + task.phase_remaining / rate
+        epoch = task.phase_epoch + 1
+        task.phase_epoch = epoch
+        task.phase_eta = eta
         task.phase_event = self.sim.at(
             eta,
-            lambda: self._phase_complete(cpu, task),
+            lambda: self._phase_complete(cpu, task, epoch),
             priority=EVPRIO_PHASE,
             label=task.phase_label,
         )
 
-    def _phase_complete(self, cpu: int, task: Task) -> None:
+    def _phase_complete(self, cpu: int, task: Task, epoch: int) -> None:
         task.phase_event = None
         if task.state != TaskState.RUNNING or task.cpu != cpu:
             return  # stale event (defensive; cancels should prevent this)
+        if epoch != task.phase_epoch:
+            # The authoritative ETA moved later while this event rode in
+            # the heap (a slowdown; see _rebase_phase).  Re-push the one
+            # corrected completion at the true ETA.
+            eta = task.phase_eta
+            if eta is None:
+                return  # phase stalled meanwhile; no completion owed
+            if eta > self.sim.now:
+                cur = task.phase_epoch
+                task.phase_event = self.sim.at(
+                    eta,
+                    lambda: self._phase_complete(cpu, task, cur),
+                    priority=EVPRIO_PHASE,
+                    label=task.phase_label,
+                )
+                return
+            # eta == now: the corrected ETA lands on this very instant —
+            # fall through and complete.
+        if self.oracles is not None:
+            self.oracles.on_phase_complete(task, self.sim.now)
         task.phase_remaining = 0.0
         task.phase_rate = 0.0
         task.phase_started_at = None
+        task.phase_eta = None
         self.update_curr(self.rqs[cpu])
         self._advance_program(cpu, task)
 
     def _rates_changed(self, core, skip_ctx=None) -> None:
-        """SMT state of ``core`` changed: rebase the affected contexts'
-        phases.
+        """SMT state of ``core`` changed: mark it dirty; the rebase runs
+        once, after the current event's callback returns.
+
+        Several rate-changing actions often land on the same core within
+        one delivered event (an install plus the sibling going idle, a
+        preempt cascade, a priority sweep).  Batching them into a single
+        deferred drain pays the PMU attribution and the sibling walk
+        once per core per event instead of once per action.
 
         ``skip_ctx`` names a context whose phase the caller manages
-        itself (the one a task was just installed on): its previous
-        occupant already banked its progress when it was switched out,
-        so rebasing it here would be redundant work per preemption.
+        itself (the one a task was just installed on): its progress was
+        banked when it left the CPU and ``_start_phase`` below (re)arms
+        it.  The *last* mark of an instant wins; that is equivalent to
+        the eager per-call skip because a context an earlier action
+        switched out is no longer RUNNING by drain time and the state
+        filter in :meth:`_drain_rate_changes` drops it.
+        """
+        dirty = self._dirty_cores
+        if not dirty:
+            self.sim.defer(self._drain_rate_changes)
+        dirty[core.core_id] = (core, skip_ctx)
+
+    def _drain_rate_changes(self) -> None:
+        """Rebase the phases of every dirty core's contexts (deferred
+        from :meth:`_rates_changed`; runs once per delivered event)."""
+        dirty = self._dirty_cores
+        now = self.sim.now
+        advance = self.pmu.advance_core if self.pmu_enabled else None
+        while dirty:
+            core_id = next(iter(dirty))
+            core, skip_ctx = dirty.pop(core_id)
+            if advance is not None:
+                # Attribute the elapsed interval to the pre-change state.
+                advance(core, now)
+            for ctx in core.contexts:
+                if ctx is skip_ctx:
+                    continue
+                t = ctx.task
+                if (
+                    t is None
+                    or not ctx.busy
+                    or t.state != TaskState.RUNNING
+                    or t.phase_started_at is None
+                ):
+                    continue
+                self._rebase_phase(ctx.cpu_id, t)
+
+    def _rebase_phase(self, cpu: int, task: Task) -> None:
+        """Re-anchor a RUNNING task's in-flight phase to its context's
+        current speed, reusing the pending completion event when it can
+        still fire (lazy ETA revalidation, DESIGN §8).
+
+        * unchanged rate: the pending completion is still exact — zero
+          work (the common case: most SMT flips on a sibling leave this
+          context's speed alone).  Not taken while the phase start is
+          still pending (context-switch delay): the rebase must restamp
+          the anchor to ``now`` exactly as the eager path did.
+        * speedup: the true ETA moves *earlier* than the pending event,
+          which therefore cannot be ridden — cancel and re-push.
+        * slowdown: the true ETA moves later; the pending event rides,
+          the epoch bump marks it stale, and its delivery re-pushes one
+          corrected event at :attr:`Task.phase_eta`.
+        * stall (rate 0): no completion is owed until a future change.
         """
         now = self.sim.now
-        # Attribute the elapsed interval to the pre-change SMT state.
-        self.pmu.advance_core(core, now)
-        for ctx in core.contexts:
-            if ctx is skip_ctx:
-                continue
-            t = ctx.task
-            if (
-                t is None
-                or not ctx.busy
-                or t.state != TaskState.RUNNING
-                or t.phase_started_at is None
-            ):
-                continue
-            t.bank_progress(now)
-            if t.phase_remaining <= _WORK_EPSILON:
-                t.phase_remaining = 0.0
-            self._start_phase(ctx.cpu_id, t)
+        ctx = self._ctxs[cpu]
+        rate = ctx.core.context_speed(ctx.thread_index, task.perf_profile)
+        started = task.phase_started_at
+        if rate == task.phase_rate and started is not None and started <= now:
+            return
+        task.bank_progress(now)
+        if task.phase_remaining <= _WORK_EPSILON:
+            task.phase_remaining = 0.0
+        task.phase_rate = rate
+        task.phase_started_at = now
+        ev = task.phase_event
+        if rate <= 0.0:
+            task.cancel_phase_event()
+            return  # stalled; a future rate change restarts the phase
+        eta = now + task.phase_remaining / rate
+        if ev is None or ev.cancelled:
+            # Restarting out of a stall: no pending event to reuse.
+            epoch = task.phase_epoch + 1
+            task.phase_epoch = epoch
+            task.phase_eta = eta
+            task.phase_event = self.sim.at(
+                eta,
+                lambda: self._phase_complete(cpu, task, epoch),
+                priority=EVPRIO_PHASE,
+                label=task.phase_label,
+            )
+            return
+        if eta == task.phase_eta:
+            return  # authoritative ETA unchanged: free ride
+        if eta < ev.time:
+            # Speedup past the pending event: it would fire too late.
+            task.cancel_phase_event()
+            epoch = task.phase_epoch + 1
+            task.phase_epoch = epoch
+            task.phase_eta = eta
+            task.phase_event = self.sim.at(
+                eta,
+                lambda: self._phase_complete(cpu, task, epoch),
+                priority=EVPRIO_PHASE,
+                label=task.phase_label,
+            )
+            return
+        # Slowdown: the pending event fires first; mark it stale and let
+        # delivery re-push at the authoritative ETA.
+        task.phase_epoch += 1
+        task.phase_eta = eta
 
     # ------------------------------------------------------------------
     # Program driver
@@ -684,7 +847,11 @@ class Kernel:
     def _periodic_balance(self, cpu: int) -> None:
         if self.live_tasks <= 0:
             return  # quiesce: no work left, stop re-arming
-        self.balancer.periodic(cpu)
+        # With nothing queued anywhere there is nothing to pull; skip the
+        # whole-machine busiest-queue scan but keep the timer armed (the
+        # event stream is identical either way).
+        if self._queued_total:
+            self.balancer.periodic(cpu)
         self.sim.after(
             self._lb_interval,
             lambda: self._periodic_balance(cpu),

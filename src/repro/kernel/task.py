@@ -84,6 +84,15 @@ class Task:
         self.phase_rate = 0.0  # current work-units/second
         self.phase_started_at: Optional[float] = None
         self.phase_event: Optional[Any] = None  # completion Event handle
+        #: Generation counter for lazy ETA revalidation: bumped whenever
+        #: the authoritative completion time changes.  Each completion
+        #: event carries the epoch it was pushed under; on delivery a
+        #: mismatch means the ETA moved later while the event rode in
+        #: the heap, and the handler re-pushes at :attr:`phase_eta`.
+        self.phase_epoch = 0
+        #: Authoritative completion instant of the in-flight phase
+        #: (``None`` when no completion is owed, e.g. stalled at rate 0).
+        self.phase_eta: Optional[float] = None
 
         #: Value delivered to the program at its next resume (the result
         #: of the request it yielded, e.g. a received message payload).
@@ -123,10 +132,12 @@ class Task:
         self.phase_rate = 0.0
 
     def cancel_phase_event(self) -> None:
-        """Drop the pending phase-completion event, if any."""
+        """Drop the pending phase-completion event, if any, and with it
+        the owed completion time."""
         if self.phase_event is not None:
             self.phase_event.cancel()
             self.phase_event = None
+        self.phase_eta = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

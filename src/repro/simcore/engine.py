@@ -47,6 +47,28 @@ class Simulator:
         #: every delivered event when validation is enabled.  Must be
         #: installed before :meth:`run` — the loop snapshots it.
         self.oracle: Optional[Any] = None
+        #: Same-instant work queued by :meth:`defer`; drained after the
+        #: current event's callback returns, before ``stop_when``.  The
+        #: list object is stable so run loops may bind it locally.
+        self._deferred: list[Callable[[], Any]] = []
+
+    def defer(self, fn: Callable[[], Any]) -> None:
+        """Run ``fn`` once, at the current instant, after the event
+        callback now executing returns (and before ``stop_when`` is
+        evaluated).  Components use this to *batch* work that several
+        actions within one event would otherwise each repeat — e.g. the
+        kernel coalesces per-core rate propagation this way.  Deferred
+        functions may defer further work; everything drains before the
+        clock moves."""
+        self._deferred.append(fn)
+
+    def _run_deferred(self) -> None:
+        deferred = self._deferred
+        while deferred:
+            pending = deferred[:]
+            deferred.clear()
+            for fn in pending:
+                fn()
 
     # ------------------------------------------------------------------
     # Scheduling API
@@ -113,6 +135,8 @@ class Simulator:
         if self.oracle is not None:
             self.oracle.on_event(ev)
         ev.fn()
+        if self._deferred:
+            self._run_deferred()
         return True
 
     def run(
@@ -146,6 +170,7 @@ class Simulator:
         heappop = heapq.heappop
         max_events = self.max_events
         oracle = self.oracle
+        deferred = self._deferred
         processed = self.events_processed
         try:
             if until is None and oracle is None:
@@ -157,6 +182,7 @@ class Simulator:
                     entry = heappop(heap)
                     ev = entry[3]
                     if ev.cancelled:
+                        queue._corpses -= 1
                         continue
                     ev._queue = None
                     queue._live -= 1
@@ -176,6 +202,8 @@ class Simulator:
                             "livelock"
                         )
                     ev.fn()
+                    if deferred:
+                        self._run_deferred()
                     if stop_when is not None and stop_when():
                         break
             else:
@@ -184,6 +212,7 @@ class Simulator:
                 while not self._stop_requested:
                     while heap and heap[0][3].cancelled:
                         heappop(heap)
+                        queue._corpses -= 1
                     if not heap:
                         break
                     entry = heap[0]
@@ -213,11 +242,14 @@ class Simulator:
                     if oracle is not None:
                         oracle.on_event(ev)
                     ev.fn()
+                    if deferred:
+                        self._run_deferred()
                     if stop_when is not None and stop_when():
                         break
             if until is not None:
                 while heap and heap[0][3].cancelled:
                     heappop(heap)
+                    queue._corpses -= 1
                 if not heap and until > self.now:
                     self.now = until
         finally:

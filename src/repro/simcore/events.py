@@ -12,6 +12,16 @@ live pending count that is incremented on push and decremented when an event
 is cancelled, popped, or dropped by :meth:`EventQueue.clear` — so ``len()``
 never counts lazily-cancelled corpses still sitting in the heap.
 
+Cancelled corpses are additionally *compacted* in bulk: the queue counts
+them, and when they outnumber the live events (and the heap is non-trivial)
+the heap is rebuilt in place without them — one O(n) heapify amortized over
+the n/2 cancels that triggered it.  That keeps cancel-heavy workloads
+(ticks, reschedules and phase re-pushes across hundreds of CPUs) from
+carrying a heap that is mostly garbage, without giving up O(1) cancel.
+The rebuild cannot reorder deliveries: the heap entries are totally
+ordered by their ``(time, priority, seq)`` prefix, so any valid heap of
+the same entries pops in the same sequence.
+
 The heap itself stores ``(time, priority, seq, event)`` tuples rather than
 the events: ``seq`` is unique, so the tuple prefix is a total order, the
 :class:`Event` is never reached during comparison, and every heap sift
@@ -72,6 +82,11 @@ class Event:
         if q is not None:
             self._queue = None
             q._live -= 1
+            corpses = q._corpses + 1
+            if corpses > 64 and corpses > q._live:
+                q._compact()
+            else:
+                q._corpses = corpses
 
     @property
     def active(self) -> bool:
@@ -107,6 +122,19 @@ class EventQueue:
         self._seq = 0
         #: Live pending count: push +1; cancel/pop/clear -1 per event.
         self._live = 0
+        #: Cancelled entries still sitting in the heap awaiting lazy
+        #: removal; when they outnumber the live events the heap is
+        #: rebuilt without them (see :meth:`_compact`).
+        self._corpses = 0
+
+    def _compact(self) -> None:
+        """Rebuild the heap in place without cancelled corpses.  The
+        list object is mutated (not replaced) so run loops holding a
+        local binding to it stay valid."""
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[3].cancelled]
+        heapq.heapify(heap)
+        self._corpses = 0
 
     def __len__(self) -> int:
         return self._live
@@ -136,6 +164,7 @@ class EventQueue:
                 ev._queue = None
                 self._live -= 1
                 return ev
+            self._corpses -= 1
         return None
 
     def peek_time(self) -> Optional[float]:
@@ -143,6 +172,7 @@ class EventQueue:
         heap = self._heap
         while heap and heap[0][3].cancelled:
             heapq.heappop(heap)
+            self._corpses -= 1
         return heap[0][0] if heap else None
 
     def clear(self) -> None:
@@ -155,6 +185,7 @@ class EventQueue:
             ev._queue = None
         self._heap.clear()
         self._live = 0
+        self._corpses = 0
 
     def live_count_check(self) -> tuple[int, int]:
         """``(tracked, actual)`` pending counts — ``tracked`` is the O(1)

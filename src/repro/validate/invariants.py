@@ -11,6 +11,11 @@ along with every :class:`~repro.kernel.core_sched.Kernel` and checks,
 * **kernel core** — CPU-time conservation: the occupancy charged to
   tasks on a logical CPU never exceeds the wall-clock time that CPU has
   existed (and per-task ``sum_exec_runtime`` never exceeds ``now``);
+  and every delivered phase completion lands on the eager-reschedule
+  ETA — ``phase_started_at + phase_remaining / phase_rate`` — within
+  tolerance, which pins the lazy ETA-revalidation fast path (ride +
+  stale re-push, DESIGN §8) to the semantics of eagerly re-pushing on
+  every rate change;
 * **CFS** — a task's vruntime never decreases, and a queue's
   ``min_vruntime`` is monotonically non-decreasing;
 * **power5** — decode shares are valid fractions summing to 1 (or 0
@@ -109,6 +114,25 @@ class KernelOracles:
             self._fail(
                 f"{task!r} charged {task.sum_exec_runtime:.9f}s of CPU time "
                 f"by wall {now:.9f}s"
+            )
+
+    def on_phase_complete(self, task: "Task", now: float) -> None:
+        """Fired by ``_phase_complete`` just before a compute phase is
+        retired, while its anchor (started-at, remaining, rate) is still
+        intact.  The delivery instant must equal the ETA an eager
+        reschedule would have computed from that anchor."""
+        self.checks += 1
+        if task.phase_started_at is None or task.phase_rate <= 0.0:
+            self._fail(
+                f"phase completion delivered for {task!r} without an "
+                f"active anchor (started={task.phase_started_at!r}, "
+                f"rate={task.phase_rate!r})"
+            )
+        eta = task.phase_started_at + task.phase_remaining / task.phase_rate
+        if abs(eta - now) > _EPS:
+            self._fail(
+                f"phase of {task!r} completed at t={now!r} but the eager "
+                f"reschedule ETA is {eta!r} (drift {abs(eta - now):.3e})"
             )
 
     def on_run_end(self, end: float) -> None:

@@ -6,7 +6,12 @@ import json
 import pytest
 
 from repro.bench import harness
-from repro.bench.scenarios import event_storm_chain, event_storm_deep
+from repro.bench.scenarios import (
+    cluster_metbench,
+    event_storm_chain,
+    event_storm_deep,
+    event_storm_wide,
+)
 from repro.cli import main
 
 
@@ -21,6 +26,18 @@ def test_storm_chain_deterministic_event_count():
 def test_storm_deep_deterministic_event_count():
     # chains * (n // chains) events, independent of scheduling noise
     assert event_storm_deep(1000, chains=16) == 16 * (1000 // 16)
+
+
+def test_storm_wide_deterministic_event_count():
+    # The wide storm spans a real cluster; same inputs must replay the
+    # exact same event stream (the count includes MPI + kernel events).
+    first = event_storm_wide(chains=8, n_nodes=2)
+    assert first > 0
+    assert event_storm_wide(chains=8, n_nodes=2) == first
+
+
+def test_cluster_metbench_runs_both_placements():
+    assert cluster_metbench(n_nodes=2, iterations=1) > 0
 
 
 # ----------------------------------------------------------------------
@@ -48,6 +65,22 @@ def test_run_suite_covers_storms_and_experiment(tiny_report):
         assert rec.wall_s > 0
         assert rec.events > 0
         assert rec.events_per_sec > 0
+
+
+def test_run_suite_scenario_filter_selects_only_named():
+    report = harness.run_suite(
+        quick=True,
+        label="filtered",
+        rounds=1,
+        storm_events=2_000,
+        scenarios=["event_storm_chain"],
+    )
+    assert set(report.records) == {"event_storm_chain"}
+
+
+def test_run_suite_rejects_unknown_scenario():
+    with pytest.raises(ValueError, match="event_storm_chain"):
+        harness.run_suite(quick=True, rounds=1, scenarios=["bogus"])
 
 
 def test_report_dict_is_schema_versioned(tiny_report):
@@ -206,3 +239,21 @@ def test_cli_bench_ignores_malformed_baseline(tmp_path, capsys):
     )
     assert code == 0
     assert "baseline ignored" in captured.err
+
+
+def test_cli_bench_scenario_filter(tmp_path, capsys):
+    code, captured = _cli_bench(
+        tmp_path, capsys, "--label", "one",
+        "--scenario", "event_storm_chain",
+    )
+    assert code == 0
+    data = harness.load_report(tmp_path / "BENCH_one.json")
+    assert set(data["benchmarks"]) == {"event_storm_chain"}
+
+
+def test_cli_bench_unknown_scenario_errors(tmp_path, capsys):
+    code, captured = _cli_bench(
+        tmp_path, capsys, "--label", "x", "--scenario", "bogus"
+    )
+    assert code == 2
+    assert "bogus" in captured.err

@@ -94,3 +94,73 @@ def test_gang_beats_block_and_hpc_compounds():
     assert block_hpc.exec_time == pytest.approx(block_plain.exec_time, rel=0.02)
     # ...but compounds with gang placement
     assert gang_hpc.exec_time < gang_plain.exec_time
+
+
+def _barrier_workers(n_ranks, work=0.01, iterations=2):
+    def worker():
+        def factory(mpi: MPIRank):
+            def prog():
+                for _ in range(iterations):
+                    yield mpi.compute(work)
+                    yield mpi.barrier()
+
+            return prog()
+
+        return factory
+
+    return [worker() for _ in range(n_ranks)]
+
+
+def test_live_total_tracks_all_nodes():
+    """The cluster's O(1) aggregate live counter mirrors the per-node
+    kernels through launch and run-to-completion."""
+    c = Cluster(n_nodes=2, heuristic_factory=None)
+    assert c._live_total == 0
+    ranks = 2 * c.cpus_per_node
+    c.launch(
+        _barrier_workers(ranks),
+        block_placement(ranks, 2, c.cpus_per_node),
+    )
+    assert c._live_total == ranks
+    assert c._live_total == sum(n.kernel.live_tasks for n in c.nodes)
+    c.run()
+    assert c._live_total == 0
+    assert all(n.kernel.live_tasks == 0 for n in c.nodes)
+
+
+def test_cluster_tracing_and_pmu_opt_in():
+    """Per-node tracing and PMU attribution are off by default at
+    cluster scale and opt back in via the constructor."""
+    off = Cluster(n_nodes=2, heuristic_factory=None)
+    assert all(n.kernel.trace is None for n in off.nodes)
+    assert all(not n.kernel.pmu_enabled for n in off.nodes)
+    on = Cluster(
+        n_nodes=2,
+        heuristic_factory=None,
+        collect_traces=True,
+        collect_pmu=True,
+    )
+    assert all(n.kernel.trace is not None for n in on.nodes)
+    assert all(n.kernel.pmu_enabled for n in on.nodes)
+    ranks = 2 * on.cpus_per_node
+    on.launch(
+        _barrier_workers(ranks),
+        block_placement(ranks, 2, on.cpus_per_node),
+    )
+    on.run()
+    assert all(len(n.kernel.trace.events) > 0 for n in on.nodes)
+
+
+def test_tracing_choice_does_not_change_schedule():
+    """Tracing/PMU collection is pure observability: the simulated
+    execution is identical with and without it."""
+    ends = []
+    for flags in ({}, {"collect_traces": True, "collect_pmu": True}):
+        c = Cluster(n_nodes=2, heuristic_factory=None, **flags)
+        ranks = 2 * c.cpus_per_node
+        c.launch(
+            _barrier_workers(ranks),
+            block_placement(ranks, 2, c.cpus_per_node),
+        )
+        ends.append((c.run(), c.sim.events_processed))
+    assert ends[0] == ends[1]

@@ -6,7 +6,8 @@ import pytest
 from repro.kernel import Compute, Exit, Kernel, SchedPolicy, Sleep
 from repro.kernel.policies import TaskState
 from repro.kernel.syscalls import SetNice, SetScheduler, YieldCPU
-from repro.power5.perfmodel import CPU_BOUND
+from repro.power5.machine import Machine, MachineTopology
+from repro.power5.perfmodel import CPU_BOUND, TableDrivenModel
 from tests.conftest import compute_sleep_program, pure_compute_program
 
 
@@ -248,11 +249,40 @@ def test_migrate_queued_task(quiet_kernel):
     assert k.migrations >= 1
 
 
-def test_migrate_running_task_rejected(quiet_kernel):
+def test_migrate_running_task(quiet_kernel):
+    """Migrating a RUNNING task switches it out (progress banked, phase
+    event dropped), refills the source CPU and lands it on the target."""
     k = quiet_kernel
     a = k.spawn("a", pure_compute_program(0.5), cpu=0)
     k.sim.run(until=0.01)
     assert a.state == TaskState.RUNNING
+    before = a.phase_remaining
+    k.migrate(a, 2)
+    # Progress up to the migration instant was banked and the stale
+    # completion event cancelled with the task off-CPU.
+    assert a.state == TaskState.READY
+    assert a.cpu == 2
+    assert a.phase_remaining < before
+    assert a.phase_event is None and a.phase_eta is None
+    assert k.rqs[0].current is not a
+    assert k.migrations == 1
+    end = k.run()
+    assert a.state == TaskState.EXITED
+    # No work lost or duplicated: cpu2 runs in the same ST mode as cpu0,
+    # so the run finishes when an unmigrated control run does, plus the
+    # one extra context switch the migration itself costs.
+    machine = Machine(MachineTopology(), TableDrivenModel())
+    control = Kernel(machine=machine)
+    control.spawn("a", pure_compute_program(0.5), cpu=0)
+    cs = k.tunables.get("kernel/context_switch_cost")
+    assert end == pytest.approx(control.run() + cs, rel=1e-9)
+
+
+def test_migrate_sleeping_task_rejected(quiet_kernel):
+    k = quiet_kernel
+    a = k.spawn("a", compute_sleep_program(2, 0.05, pause=1.0), cpu=0)
+    k.sim.run(until=0.1)  # inside the first sleep
+    assert a.state == TaskState.SLEEPING
     with pytest.raises(ValueError):
         k.migrate(a, 2)
 

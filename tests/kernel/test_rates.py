@@ -89,6 +89,99 @@ def test_profiles_apply_per_task(quiet_kernel):
     assert rate_m == pytest.approx(MIXED.dprio_speed[-2], rel=1e-6)
 
 
+def test_stall_to_rate_zero_then_restart(quiet_kernel):
+    """THREAD_OFF stalls a phase (rate 0, no completion owed); restoring
+    the priority restarts it with exactly the banked remaining work."""
+    from repro.power5.priorities import PrivilegeLevel
+
+    k = quiet_kernel
+    a = k.spawn("a", pure_compute_program(0.5), cpu=0)
+    b = k.spawn("b", pure_compute_program(10.0), cpu=1)
+    off_at, on_at = 0.2, 0.5
+    k.sim.after(
+        off_at,
+        lambda: k.set_hw_priority(a, 0, privilege=PrivilegeLevel.HYPERVISOR),
+    )
+    k.sim.after(
+        on_at,
+        lambda: k.set_hw_priority(a, 4, privilege=PrivilegeLevel.HYPERVISOR),
+    )
+    k.sim.run(until=0.3)
+    # Stalled: still RUNNING, but no completion event or ETA is owed.
+    assert a.state.value == "running"
+    assert a.phase_rate == 0.0
+    assert a.phase_event is None and a.phase_eta is None
+    k.sim.run(until=5.0)
+    # a: 0.2 work at SMT-equal speed 1, a 0.3s stall, then the banked
+    # 0.3 remaining work again at speed 1 (b is far from done).
+    assert a.state.value == "exited"
+    assert a.sum_exec_runtime == pytest.approx(
+        on_at + (0.5 - off_at * 1.0) / 1.0, rel=1e-9
+    )
+
+
+def test_speedup_after_slowdown_within_one_phase(quiet_kernel):
+    """A slowdown lets the pending completion ride (stale, earlier than
+    the true ETA); a speedup before it fires must re-push, and the final
+    completion is the exact three-segment integral."""
+    k = quiet_kernel
+    victim = k.spawn("victim", pure_compute_program(1.0), cpu=0)
+    hog = k.spawn("hog", pure_compute_program(50.0), cpu=1)
+    slow_at, fast_at = 0.1, 0.3
+    k.sim.after(slow_at, lambda: k.set_hw_priority(hog, 6))  # victim at -2
+    k.sim.after(fast_at, lambda: k.set_hw_priority(hog, 4))  # back to equal
+    k.sim.run(until=0.2)
+    # Mid-slowdown: the original event rides ahead of the true ETA.
+    assert victim.phase_event is not None
+    assert victim.phase_event.time < victim.phase_eta
+    k.sim.run(until=10.0)
+    assert victim.state.value == "exited"
+    done_slow = slow_at * 1.0 + (fast_at - slow_at) * MINUS2
+    t_end = fast_at + (1.0 - done_slow) / 1.0
+    assert victim.sum_exec_runtime == pytest.approx(t_end, rel=1e-9)
+
+
+def test_preempt_cancels_stale_ridden_event(quiet_kernel):
+    """Preempting a task whose stale (ridden) completion event is still
+    in the heap must cancel it; the resumed phase finishes with exactly
+    the remaining work and the stale delivery never fires."""
+    from repro.kernel.policies import SchedPolicy
+
+    k = quiet_kernel
+    victim = k.spawn("victim", pure_compute_program(1.0), cpu=0,
+                     cpus_allowed=[0])
+    hog = k.spawn("hog", pure_compute_program(50.0), cpu=1)
+    k.sim.after(0.1, lambda: k.set_hw_priority(hog, 6))  # ride starts
+
+    def rt_prog():
+        yield Compute(0.145)  # 0.05s at MINUS2... RT runs at -2 too
+
+    k.sim.after(
+        0.2,
+        lambda: k.start_task(
+            k.create_task("rt", rt_prog(), policy=SchedPolicy.FIFO,
+                          rt_priority=10, cpus_allowed=[0]),
+            cpu=0,
+        ),
+    )
+    k.sim.run(until=0.15)
+    stale_ev = victim.phase_event
+    assert stale_ev is not None and stale_ev.time < victim.phase_eta
+    k.sim.run(until=20.0)
+    # The ridden event was cancelled at preemption, not delivered.
+    assert stale_ev.cancelled
+    assert victim.state.value == "exited"
+    # victim: 0.1 at speed 1, then MINUS2 until preempted at 0.2, a
+    # pause of 0.145/MINUS2 while the RT task runs (also at -2 vs the
+    # boosted hog), then MINUS2 again until its work is done.
+    rt_window = 0.145 / MINUS2
+    done_before = 0.1 * 1.0 + (0.2 - 0.1) * MINUS2
+    t_end = 0.2 + rt_window + (1.0 - done_before) / MINUS2
+    assert victim.sum_exec_runtime == pytest.approx(
+        t_end - rt_window, rel=1e-3
+    )
+
+
 def test_sleep_then_resume_keeps_remaining_work(quiet_kernel):
     """A task preempted mid-phase resumes with exactly the remaining
     work (no loss, no duplication)."""

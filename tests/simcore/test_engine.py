@@ -193,3 +193,50 @@ def test_events_processed_counter():
         sim.after(float(i), lambda: None)
     sim.run()
     assert sim.events_processed == 5
+
+
+def test_defer_runs_after_callback_before_stop_when():
+    """Deferred work runs at the same instant, after the callback that
+    queued it and before the stop predicate is evaluated."""
+    sim = Simulator()
+    log = []
+
+    def cb():
+        sim.defer(lambda: log.append("deferred"))
+        log.append("callback")
+
+    sim.after(1.0, cb)
+    sim.after(2.0, lambda: log.append("late"))
+    sim.run(stop_when=lambda: "deferred" in log)
+    # The run stopped at t=1.0: the deferred fn ran before stop_when,
+    # and the t=2.0 event never fired.
+    assert log == ["callback", "deferred"]
+    assert sim.now == 1.0
+
+
+def test_defer_nested_drains_same_instant():
+    """A deferred fn may defer further work; everything drains before
+    the clock moves (and before the next event's callback)."""
+    sim = Simulator()
+    log = []
+
+    def cb():
+        sim.defer(lambda: (log.append("d1"), sim.defer(lambda: log.append("d2"))))
+
+    sim.after(1.0, cb)
+    sim.after(1.0, lambda: log.append("next-event"))
+    sim.run()
+    assert log == ["d1", "d2", "next-event"]
+
+
+def test_defer_drained_in_step_and_oracle_path():
+    """Both Simulator.step and the general (until=...) run path drain
+    deferred work."""
+    sim = Simulator()
+    log = []
+    sim.after(1.0, lambda: sim.defer(lambda: log.append("a")))
+    assert sim.step() is True
+    assert log == ["a"]
+    sim.after(1.0, lambda: sim.defer(lambda: log.append("b")))
+    sim.run(until=10.0)
+    assert log == ["a", "b"]

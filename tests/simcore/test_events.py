@@ -212,3 +212,37 @@ def test_property_interleaved_ops_match_reference_model(ops):
         assert not ev.cancelled
         assert handles[expect[2]] is ev
     assert not rest
+
+
+def test_mass_cancellation_compacts_heap():
+    """Cancelling most of a large queue rebuilds the heap without the
+    corpses; survivors still pop in exact (time, priority, seq) order."""
+    q = EventQueue()
+    handles = [q.push(float(i), lambda: None) for i in range(500)]
+    for i, h in enumerate(handles):
+        if i % 5:  # cancel 80%
+            h.cancel()
+    assert len(q) == 100
+    # Bulk compaction kicked in: the heap no longer carries ~400 corpses.
+    assert len(q._heap) < 200
+    out = []
+    while (ev := q.pop()) is not None:
+        out.append(ev.time)
+    assert out == [float(i) for i in range(0, 500, 5)]
+    assert len(q) == 0
+
+
+def test_compaction_keeps_live_count_exact():
+    """Interleaved push/cancel churn across the compaction threshold
+    never desynchronizes the O(1) live counter from the heap."""
+    q = EventQueue()
+    handles = []
+    for round_ in range(30):
+        handles.extend(q.push(float(round_) + i * 1e-3, lambda: None) for i in range(10))
+        for h in handles[::3]:
+            h.cancel()
+        tracked, actual = q.live_count_check()
+        assert tracked == actual == len(q)
+    while q.pop() is not None:
+        pass
+    assert len(q) == 0 and q.live_count_check() == (0, 0)

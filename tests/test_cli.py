@@ -48,3 +48,26 @@ def test_run_table3_with_iterations(capsys):
     assert "Baseline 2.6.24" in out
     assert "vs. paper" in out
     assert "improvement uniform over cfs" in out
+
+
+def test_cluster_both_placements(capsys):
+    assert main(["cluster", "--nodes", "2", "--iterations", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "2 nodes x 4 CPUs" in out
+    assert "block" in out and "gang" in out
+    assert "gang speedup over block" in out
+
+
+def test_cluster_single_placement(capsys):
+    assert main([
+        "cluster", "--nodes", "2", "--iterations", "1",
+        "--placement", "gang", "--ranks", "8",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "8 ranks" in out
+    assert "gang" in out and "speedup" not in out
+
+
+def test_cluster_rejects_zero_ranks(capsys):
+    assert main(["cluster", "--nodes", "2", "--ranks", "0"]) == 2
+    assert capsys.readouterr().err
