@@ -41,17 +41,25 @@ from repro.bench.scenarios import (
     DEFAULT_WIDE_CHAINS,
     DEFAULT_WIDE_NODES,
     cluster_metbench,
+    cluster_metbench_sharded,
     event_storm_chain,
     event_storm_deep,
     event_storm_wide,
+    event_storm_wide_sharded,
 )
 
-#: Bump on any incompatible change to the report layout.
+#: Bump on any incompatible change to the report layout.  (Additive
+#: fields — ``jobs``, ``host_cpus``, the sharded scenarios — do not
+#: bump it: old reports stay loadable and diffable.)
 SCHEMA_VERSION = 1
 
 #: Default regression threshold: fail when a benchmark's events/sec
 #: drops more than this fraction below the baseline.
 DEFAULT_THRESHOLD = 0.20
+
+#: Shard/worker configuration of the sharded cluster scenarios.
+DEFAULT_SHARDS = 8
+DEFAULT_SHARD_WORKERS = "inline"
 
 #: Every benchmark name the suite can produce, for --scenario filter
 #: validation.  Experiment entries are per-scheduler.
@@ -59,11 +67,13 @@ SCENARIO_NAMES = (
     "event_storm_chain",
     "event_storm_deep",
     "event_storm_wide",
+    "event_storm_wide_sharded",
     "metbench_cfs",
     "metbench_uniform",
     "metbench_adaptive",
     "cluster_metbench_16",
     "cluster_metbench_64",
+    "cluster_metbench_64_sharded",
 )
 
 
@@ -90,6 +100,18 @@ class BenchRecord:
         }
 
 
+def host_cpu_count() -> int:
+    """Logical CPUs available to this process (affinity-aware)."""
+    try:
+        import os
+
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux
+        import os
+
+        return os.cpu_count() or 1
+
+
 @dataclass
 class BenchReport:
     """A full bench run: metadata plus one record per benchmark."""
@@ -100,6 +122,12 @@ class BenchReport:
     peak_rss_kb: Optional[int] = None
     created: Optional[str] = None
     vs_baseline: Dict[str, object] = field(default_factory=dict)
+    #: Benchmark processes run concurrently (``repro bench --jobs``).
+    #: Recorded because parallel rounds contend for CPU: wall times from
+    #: a jobs>1 report are not comparable to a serial one.
+    jobs: int = 1
+    #: Logical CPUs the measuring host exposed; same caveat.
+    host_cpus: int = field(default_factory=host_cpu_count)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready form: schema header, metadata, benchmark table."""
@@ -110,6 +138,8 @@ class BenchReport:
             "python": sys.version.split()[0],
             "platform": platform.platform(),
             "peak_rss_kb": self.peak_rss_kb,
+            "jobs": self.jobs,
+            "host_cpus": self.host_cpus,
             "benchmarks": {n: r.to_dict() for n, r in self.records.items()},
         }
         if self.created:
@@ -163,6 +193,141 @@ def _peak_rss_kb() -> Optional[int]:
     return int(rss)
 
 
+def _entry_spec(
+    name: str, quick: bool, storm_events: int
+) -> Tuple[Callable[[], int], Dict[str, object]]:
+    """The workload callable and parameter dict of one benchmark.
+
+    Module-level (rather than closures inside :func:`run_suite`) so a
+    ``--jobs`` worker process can rebuild the callable from the picklable
+    ``(name, quick, storm_events)`` triple.
+    """
+    if name == "event_storm_chain":
+        return lambda: event_storm_chain(storm_events), {"events": storm_events}
+    if name == "event_storm_deep":
+        return (
+            lambda: event_storm_deep(storm_events, DEFAULT_STORM_CHAINS),
+            {"events": storm_events, "chains": DEFAULT_STORM_CHAINS},
+        )
+    if name.startswith("metbench_"):
+        sched = name[len("metbench_"):]
+        iters: Optional[int] = 8 if quick else None
+
+        def run_exp() -> int:
+            from repro.experiments import metbench
+
+            result = metbench.run_one(sched, iterations=iters, keep_trace=True)
+            assert result.kernel is not None
+            return result.kernel.sim.events_processed
+
+        return run_exp, {"scheduler": sched, "iterations": iters}
+    if name == "event_storm_wide":
+        return (
+            lambda: event_storm_wide(DEFAULT_WIDE_CHAINS, DEFAULT_WIDE_NODES),
+            {"chains": DEFAULT_WIDE_CHAINS, "nodes": DEFAULT_WIDE_NODES},
+        )
+    if name == "event_storm_wide_sharded":
+        return (
+            lambda: event_storm_wide_sharded(
+                DEFAULT_WIDE_CHAINS,
+                DEFAULT_WIDE_NODES,
+                shards=DEFAULT_SHARDS,
+                workers=DEFAULT_SHARD_WORKERS,
+            ),
+            {
+                "chains": DEFAULT_WIDE_CHAINS,
+                "nodes": DEFAULT_WIDE_NODES,
+                "shards": DEFAULT_SHARDS,
+                "workers": DEFAULT_SHARD_WORKERS,
+            },
+        )
+    if name.startswith("cluster_metbench_"):
+        rest = name[len("cluster_metbench_"):]
+        if rest.endswith("_sharded"):
+            nodes = int(rest[: -len("_sharded")])
+            return (
+                lambda: cluster_metbench_sharded(
+                    n_nodes=nodes,
+                    iterations=2,
+                    shards=DEFAULT_SHARDS,
+                    workers=DEFAULT_SHARD_WORKERS,
+                ),
+                {
+                    "nodes": nodes,
+                    "iterations": 2,
+                    "placements": "block+gang",
+                    "shards": DEFAULT_SHARDS,
+                    "workers": DEFAULT_SHARD_WORKERS,
+                },
+            )
+        nodes = int(rest)
+        return (
+            lambda: cluster_metbench(n_nodes=nodes, iterations=2),
+            {"nodes": nodes, "iterations": 2, "placements": "block+gang"},
+        )
+    raise ValueError(f"unknown benchmark {name!r}")
+
+
+def _exec_entry(
+    name: str, rounds: int, quick: bool, storm_events: int
+) -> Dict[str, object]:
+    """Measure one named benchmark; returns the record as a plain dict
+    (this runs inside a worker process under ``--jobs``)."""
+    fn, params = _entry_spec(name, quick, storm_events)
+    return _record(name, fn, rounds, params).to_dict()
+
+
+def _plan(
+    quick: bool, rounds: int, scenarios: Optional[Sequence[str]]
+) -> List[Tuple[str, int]]:
+    """The ordered ``(name, rounds)`` schedule of one suite run.
+
+    Storms use the full round count; experiment entries use 1 (quick) or
+    2 rounds; cluster scenarios cap at 2 rounds.  Quick mode trims the
+    experiment suite to ``metbench_uniform`` exactly as before.  Cluster
+    scenario parameters are identical in quick and full mode, so their
+    numbers stay comparable across modes.
+    """
+
+    def wanted(name: str) -> bool:
+        return scenarios is None or name in scenarios
+
+    exp_names = ["metbench_uniform"] if quick else [
+        "metbench_cfs", "metbench_uniform", "metbench_adaptive"
+    ]
+    exp_rounds = 1 if quick else 2
+    cluster_rounds = min(rounds, 2)
+    plan: List[Tuple[str, int]] = []
+    for name in ("event_storm_chain", "event_storm_deep"):
+        if wanted(name):
+            plan.append((name, rounds))
+    for name in exp_names:
+        if wanted(name):
+            plan.append((name, exp_rounds))
+    for name in (
+        "event_storm_wide",
+        "event_storm_wide_sharded",
+        "cluster_metbench_16",
+        "cluster_metbench_64",
+        "cluster_metbench_64_sharded",
+    ):
+        if wanted(name):
+            plan.append((name, cluster_rounds))
+    return plan
+
+
+def _progress_line(rec: BenchRecord) -> str:
+    if rec.name.startswith("event_storm_") and "wide" not in rec.name:
+        return (
+            f"{rec.name}: {rec.events_per_sec:,.0f} events/s "
+            f"({rec.wall_s * 1e3:.1f} ms best of {rec.rounds})"
+        )
+    return (
+        f"{rec.name}: {rec.wall_s * 1e3:.1f} ms, "
+        f"{rec.events} events ({rec.events_per_sec:,.0f} events/s)"
+    )
+
+
 def run_suite(
     quick: bool = False,
     label: str = "local",
@@ -170,6 +335,7 @@ def run_suite(
     storm_events: int = DEFAULT_STORM_EVENTS,
     progress: Optional[Callable[[str], None]] = None,
     scenarios: Optional[Sequence[str]] = None,
+    jobs: int = 1,
 ) -> BenchReport:
     """Run the bench suite (or a subset) and return the report.
 
@@ -177,10 +343,16 @@ def run_suite(
     ``storm_events`` is exposed for the unit tests (tiny storms) and is
     recorded in each storm's ``params`` so mismatched-size reports never
     get compared.  ``scenarios`` restricts the run to the named
-    benchmarks (see :data:`SCENARIO_NAMES`); cluster scenarios keep
-    identical parameters in quick and full mode, so their numbers stay
-    comparable across modes.  ``progress`` receives one line per
-    benchmark.
+    benchmarks (see :data:`SCENARIO_NAMES`).  ``progress`` receives one
+    line per benchmark.
+
+    ``jobs`` > 1 farms *distinct* benchmarks out to that many worker
+    processes.  Each benchmark still runs its rounds sequentially inside
+    one worker (a benchmark is never split), but concurrent benchmarks
+    contend for CPU, so the resulting wall times are only comparable to
+    other reports measured with the same ``jobs`` on the same host —
+    both are recorded in the report and :func:`context_warnings` flags
+    diffs across mismatched configurations.
     """
     if rounds is None:
         rounds = 3 if quick else 5
@@ -192,101 +364,30 @@ def run_suite(
                 f"choose from {', '.join(SCENARIO_NAMES)}"
             )
     say = progress or (lambda _msg: None)
-    report = BenchReport(label=label, quick=quick)
+    jobs = max(1, jobs)
+    report = BenchReport(label=label, quick=quick, jobs=jobs)
+    plan = _plan(quick, rounds, scenarios)
 
-    def wanted(name: str) -> bool:
-        return scenarios is None or name in scenarios
+    if jobs > 1 and len(plan) > 1:
+        from concurrent.futures import ProcessPoolExecutor, as_completed
 
-    # ------------------------------------------------------------------
-    # Engine storms: raw event throughput.
-    # ------------------------------------------------------------------
-    storms = [
-        (
-            "event_storm_chain",
-            lambda: event_storm_chain(storm_events),
-            {"events": storm_events},
-        ),
-        (
-            "event_storm_deep",
-            lambda: event_storm_deep(storm_events, DEFAULT_STORM_CHAINS),
-            {"events": storm_events, "chains": DEFAULT_STORM_CHAINS},
-        ),
-    ]
-    for name, fn, params in storms:
-        if not wanted(name):
-            continue
-        rec = _record(name, fn, rounds, params)
-        report.records[name] = rec
-        say(
-            f"{name}: {rec.events_per_sec:,.0f} events/s "
-            f"({rec.wall_s * 1e3:.1f} ms best of {rounds})"
-        )
-
-    # ------------------------------------------------------------------
-    # Paper suite: MetBench end-to-end (kernel + POWER5 model + HPCSched).
-    # ------------------------------------------------------------------
-    from repro.experiments import metbench
-
-    if quick:
-        exp_cases = [("uniform", 8)]
-        exp_rounds = 1
+        done: Dict[str, BenchRecord] = {}
+        with ProcessPoolExecutor(max_workers=min(jobs, len(plan))) as pool:
+            futures = {
+                pool.submit(_exec_entry, name, n_rounds, quick, storm_events): name
+                for name, n_rounds in plan
+            }
+            for fut in as_completed(futures):
+                rec = BenchRecord(**fut.result())  # type: ignore[arg-type]
+                done[rec.name] = rec
+                say(_progress_line(rec))
+        for name, _ in plan:  # report order follows the plan, not finish
+            report.records[name] = done[name]
     else:
-        exp_cases = [("cfs", None), ("uniform", None), ("adaptive", None)]
-        exp_rounds = 2
-
-    for sched, iters in exp_cases:
-        name = f"metbench_{sched}"
-        if not wanted(name):
-            continue
-        holder: Dict[str, int] = {}
-
-        def run_exp(sched: str = sched, iters: Optional[int] = iters) -> int:
-            result = metbench.run_one(sched, iterations=iters, keep_trace=True)
-            assert result.kernel is not None
-            holder["events"] = result.kernel.sim.events_processed
-            return holder["events"]
-
-        rec = _record(
-            name, run_exp, exp_rounds, {"scheduler": sched, "iterations": iters}
-        )
-        report.records[name] = rec
-        say(
-            f"{name}: {rec.wall_s * 1e3:.1f} ms, "
-            f"{rec.events} events ({rec.events_per_sec:,.0f} events/s)"
-        )
-
-    # ------------------------------------------------------------------
-    # Cluster scale-out: wide synchronization storm + gang experiment.
-    # Parameters are identical in quick and full mode (only the round
-    # count shrinks), so cluster numbers compare across modes.
-    # ------------------------------------------------------------------
-    cluster_rounds = min(rounds, 2)
-    cluster_cases = [
-        (
-            "event_storm_wide",
-            lambda: event_storm_wide(DEFAULT_WIDE_CHAINS, DEFAULT_WIDE_NODES),
-            {"chains": DEFAULT_WIDE_CHAINS, "nodes": DEFAULT_WIDE_NODES},
-        ),
-        (
-            "cluster_metbench_16",
-            lambda: cluster_metbench(n_nodes=16, iterations=2),
-            {"nodes": 16, "iterations": 2, "placements": "block+gang"},
-        ),
-        (
-            "cluster_metbench_64",
-            lambda: cluster_metbench(n_nodes=64, iterations=2),
-            {"nodes": 64, "iterations": 2, "placements": "block+gang"},
-        ),
-    ]
-    for name, fn, params in cluster_cases:
-        if not wanted(name):
-            continue
-        rec = _record(name, fn, cluster_rounds, params)
-        report.records[name] = rec
-        say(
-            f"{name}: {rec.wall_s * 1e3:.1f} ms, "
-            f"{rec.events} events ({rec.events_per_sec:,.0f} events/s)"
-        )
+        for name, n_rounds in plan:
+            rec = BenchRecord(**_exec_entry(name, n_rounds, quick, storm_events))  # type: ignore[arg-type]
+            report.records[name] = rec
+            say(_progress_line(rec))
 
     report.peak_rss_kb = _peak_rss_kb()
     return report
@@ -332,6 +433,35 @@ def find_baseline(directory: Path, exclude: Optional[Path] = None) -> Optional[P
     if not candidates:
         return None
     return max(candidates, key=lambda p: p.stat().st_mtime)
+
+
+def context_warnings(
+    current: Dict[str, object], baseline: Dict[str, object]
+) -> List[str]:
+    """Human-readable warnings when two reports were measured under
+    different conditions (``--jobs`` parallelism or host CPU count):
+    their wall times contend differently for CPU, so throughput ratios
+    between them are not trustworthy.  Reports written before these
+    fields existed default to the serial single-host assumption
+    (``jobs=1``), which never warns against an equally-old baseline."""
+    warnings: List[str] = []
+    cur_jobs = int(current.get("jobs", 1) or 1)
+    base_jobs = int(baseline.get("jobs", 1) or 1)
+    if cur_jobs != base_jobs:
+        warnings.append(
+            f"bench --jobs mismatch: current report measured with "
+            f"jobs={cur_jobs}, baseline with jobs={base_jobs}; parallel "
+            f"benchmarks contend for CPU, so ratios are unreliable"
+        )
+    cur_cpus = current.get("host_cpus")
+    base_cpus = baseline.get("host_cpus")
+    if cur_cpus is not None and base_cpus is not None and cur_cpus != base_cpus:
+        warnings.append(
+            f"host CPU count mismatch: current host has {cur_cpus}, "
+            f"baseline had {base_cpus}; wall times are not comparable "
+            f"across hosts"
+        )
+    return warnings
 
 
 def compare_reports(

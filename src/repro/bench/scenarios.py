@@ -137,3 +137,74 @@ def cluster_metbench(n_nodes: int = 16, iterations: int = 2) -> int:
         )
         total += result.events
     return total
+
+
+def cluster_metbench_sharded(
+    n_nodes: int = 64,
+    iterations: int = 2,
+    shards: int = 8,
+    workers: str = "inline",
+) -> int:
+    """The sharded-PDES twin of :func:`cluster_metbench`: the same
+    block+gang workload pair partitioned over ``shards`` simulators
+    (:mod:`repro.cluster.sharded`).  Per-rank completion times are
+    bit-identical to the serial run's, so the wall-time ratio against
+    ``cluster_metbench`` with the same parameters is a pure measure of
+    the sharded runner's event elision (and, with process workers on a
+    multi-core host, of parallel execution)."""
+    from repro.cluster.experiment import ladder_loads, run_cluster_sharded
+
+    loads = ladder_loads(4 * n_nodes)
+    total = 0
+    for strategy in ("block", "gang"):
+        result = run_cluster_sharded(
+            strategy,
+            loads=loads,
+            iterations=iterations,
+            n_nodes=n_nodes,
+            shards=shards,
+            workers=workers,
+        )
+        total += result.events
+    return total
+
+
+def event_storm_wide_sharded(
+    chains: int = DEFAULT_WIDE_CHAINS,
+    n_nodes: int = DEFAULT_WIDE_NODES,
+    shards: int = 8,
+    workers: str = "inline",
+) -> int:
+    """The sharded twin of :func:`event_storm_wide`: the identical
+    synchronization storm partitioned over ``shards`` simulators;
+    returns events processed across all shards."""
+    from repro.cluster.gang import block_placement
+    from repro.cluster.sharded import run_sharded
+    from repro.mpi.process import MPIRank
+    from repro.power5.machine import MachineTopology
+
+    cpn = MachineTopology().n_cpus
+    ranks = n_nodes * cpn
+    iterations = max(1, chains // ranks)
+
+    def worker(load: float):
+        def factory(mpi: MPIRank):
+            def prog():
+                for _ in range(iterations):
+                    yield mpi.compute(load)
+                    yield mpi.barrier()
+
+            return prog()
+
+        return factory
+
+    programs = [worker(4e-4 + r * 1e-6) for r in range(ranks)]
+    result = run_sharded(
+        n_nodes=n_nodes,
+        programs=programs,
+        placement=block_placement(ranks, n_nodes, cpn),
+        heuristic_factory=None,
+        shards=shards,
+        workers=workers,
+    )
+    return result.events

@@ -150,6 +150,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--keep-going", action="store_true",
         help="keep fuzzing past the first divergence",
     )
+    val.add_argument(
+        "--sharded-parity", action="store_true",
+        help="instead of the differential fuzz, assert serial-vs-"
+        "sharded cluster parity bit-for-bit (fixed cluster_metbench "
+        "16/64 configurations + --fuzz randomized cluster scenarios)",
+    )
+    val.add_argument(
+        "--quick", action="store_true",
+        help="with --sharded-parity: 16-node fixed configurations "
+        "only, at 2 shards (CI fast-split smoke)",
+    )
     ben = sub.add_parser(
         "bench",
         help="run the performance benchmark suite and record/diff "
@@ -192,6 +203,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="run only the named benchmark (repeatable), e.g. "
         "event_storm_wide or cluster_metbench_64",
     )
+    ben.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run distinct benchmarks in N worker processes (recorded "
+        "in the report; diffs against a report measured with a "
+        "different jobs/CPU configuration print a warning)",
+    )
     clu = sub.add_parser(
         "cluster",
         help="run the multi-node gang-scheduling experiment "
@@ -219,6 +236,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--no-hpc", action="store_true",
         help="run plain CFS on every node instead of one HPCSched "
         "instance per node",
+    )
+    clu.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="partition the cluster over K conservative-PDES shard "
+        "simulators (bit-identical per-rank completion times; "
+        "default: single serial simulator)",
+    )
+    clu.add_argument(
+        "--workers", choices=["inline", "process", "auto"], default="auto",
+        help="shard execution backend with --shards (default auto)",
+    )
+    clu.add_argument(
+        "--json", action="store_true",
+        help="emit one machine-readable JSON object instead of the "
+        "human-readable summary",
     )
 
     args = parser.parse_args(argv)
@@ -445,7 +477,10 @@ def _campaign(args) -> int:
 
 
 def _validate(args) -> int:
-    """``validate``: fuzz scenarios through the differential oracle."""
+    """``validate``: fuzz scenarios through the differential oracle, or
+    (``--sharded-parity``) assert serial-vs-sharded cluster parity."""
+    if args.sharded_parity:
+        return _sharded_parity(args)
     from repro.validate import run_fuzz
 
     def progress(case) -> None:
@@ -462,6 +497,30 @@ def _validate(args) -> int:
         seed=args.seed,
         dt=args.dt,
         stop_on_divergence=not args.keep_going,
+        on_case=progress,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _sharded_parity(args) -> int:
+    """``validate --sharded-parity``: serial vs sharded, bit-for-bit."""
+    from repro.validate import run_parity_suite
+
+    def progress(case) -> None:
+        status = "ok" if case.ok else "MISMATCH"
+        print(
+            f"  {case.label:<24} {status}  events {case.events_serial}"
+            f" -> {case.events_sharded} sharded, {case.windows} windows"
+        )
+        for line in case.mismatches:
+            print(f"    {line}")
+
+    report = run_parity_suite(
+        fuzz=args.fuzz,
+        seed=args.seed,
+        nodes_fixed=(16,) if args.quick else (16, 64),
+        shards_fixed=2 if args.quick else None,
         on_case=progress,
     )
     print(report.summary())
@@ -490,6 +549,7 @@ def _bench(args) -> int:
             quick=args.quick,
             label=args.label,
             rounds=args.rounds,
+            jobs=args.jobs,
             progress=lambda line: print(f"  {line}"),
             **kwargs,
         )
@@ -509,13 +569,18 @@ def _bench(args) -> int:
         except harness.BenchFormatError as exc:
             print(f"baseline ignored: {exc}", file=sys.stderr)
         else:
-            rows = harness.compare_reports(report.to_dict(), baseline, threshold)
+            current = report.to_dict()
+            rows = harness.compare_reports(current, baseline, threshold)
+            warnings = harness.context_warnings(current, baseline)
             report.vs_baseline = {
                 "baseline": str(baseline_path),
                 "threshold": threshold,
                 "rows": rows,
+                "warnings": warnings,
             }
             print(f"\nvs {baseline_path} (threshold -{threshold:.0%}):")
+            for warning in warnings:
+                print(f"  WARNING: {warning}")
             for row in rows:
                 mark = "REGRESSED" if row["regressed"] else "ok"
                 print(
@@ -538,11 +603,15 @@ def _bench(args) -> int:
 
 
 def _cluster(args) -> int:
-    """``cluster``: block vs gang placement on an N-node cluster."""
+    """``cluster``: block vs gang placement on an N-node cluster,
+    serially or sharded over K PDES simulators (``--shards``)."""
+    import json
+
     from repro.cluster.experiment import (
         DEFAULT_ITERATIONS,
         ladder_loads,
         run_cluster,
+        run_cluster_sharded,
     )
 
     n_ranks = args.ranks if args.ranks is not None else 4 * args.nodes
@@ -557,37 +626,73 @@ def _cluster(args) -> int:
     strategies = (
         ["block", "gang"] if args.placement == "both" else [args.placement]
     )
-    print(
-        f"cluster: {args.nodes} nodes x 4 CPUs, {n_ranks} ranks, "
-        f"{iterations} iterations, "
-        f"{'CFS only' if args.no_hpc else 'HPCSched per node'}"
-    )
+    if not args.json:
+        mode = (
+            f"{args.shards} PDES shards ({args.workers} workers)"
+            if args.shards
+            else "serial simulator"
+        )
+        print(
+            f"cluster: {args.nodes} nodes x 4 CPUs, {n_ranks} ranks, "
+            f"{iterations} iterations, "
+            f"{'CFS only' if args.no_hpc else 'HPCSched per node'}, {mode}"
+        )
     exec_times = {}
+    out: Dict[str, Any] = {
+        "nodes": args.nodes,
+        "ranks": n_ranks,
+        "iterations": iterations,
+        "hpcsched": not args.no_hpc,
+        "shards": args.shards or 1,
+        "placements": {},
+    }
     for strategy in strategies:
         try:
-            result = run_cluster(
-                strategy,
-                loads=loads,
-                iterations=iterations,
-                n_nodes=args.nodes,
-                use_hpc=not args.no_hpc,
-            )
+            if args.shards:
+                result = run_cluster_sharded(
+                    strategy,
+                    loads=loads,
+                    iterations=iterations,
+                    n_nodes=args.nodes,
+                    use_hpc=not args.no_hpc,
+                    shards=args.shards,
+                    workers=args.workers,
+                )
+            else:
+                result = run_cluster(
+                    strategy,
+                    loads=loads,
+                    iterations=iterations,
+                    n_nodes=args.nodes,
+                    use_hpc=not args.no_hpc,
+                )
         except ValueError as exc:
             print(exc, file=sys.stderr)
             return 2
         exec_times[strategy] = result.exec_time
         node_loads = result.node_loads
         spread = max(node_loads.values()) - min(node_loads.values())
-        print(
-            f"  {strategy:<5} exec {result.exec_time:8.2f}s   "
-            f"node-load spread {spread:6.2f}   "
-            f"events {result.events:,}"
-        )
+        out["workers"] = result.workers
+        out["placements"][strategy] = {
+            "exec_time": result.exec_time,
+            "node_load_spread": spread,
+            "events": result.events,
+            "windows": result.windows,
+            "rank_exit": {str(r): t for r, t in sorted(result.rank_exit.items())},
+        }
+        if not args.json:
+            print(
+                f"  {strategy:<5} exec {result.exec_time:8.2f}s   "
+                f"node-load spread {spread:6.2f}   "
+                f"events {result.events:,}"
+            )
     if len(exec_times) == 2 and exec_times["gang"] > 0:
-        print(
-            f"  gang speedup over block: "
-            f"{exec_times['block'] / exec_times['gang']:.2f}x"
-        )
+        speedup = exec_times["block"] / exec_times["gang"]
+        out["gang_speedup_over_block"] = speedup
+        if not args.json:
+            print(f"  gang speedup over block: {speedup:.2f}x")
+    if args.json:
+        print(json.dumps(out, indent=2, sort_keys=True))
     return 0
 
 

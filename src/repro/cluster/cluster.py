@@ -33,6 +33,26 @@ class InterconnectModel:
     intra: LatencyModel = LatencyModel(base=5e-6, bandwidth=1e9)
     inter: LatencyModel = LatencyModel(base=50e-6, bandwidth=2.5e8)
 
+    def __post_init__(self) -> None:
+        # LatencyModel validates its own fields at construction; guard
+        # here against models smuggled in through other means (subclass,
+        # object.__setattr__, raw floats) because the sharded runner's
+        # conservative lookahead is derived from ``inter.base``.
+        for name in ("intra", "inter"):
+            model = getattr(self, name)
+            base = getattr(model, "base", None)
+            bandwidth = getattr(model, "bandwidth", None)
+            if base is None or not base > 0.0:
+                raise ValueError(
+                    f"InterconnectModel.{name}.base must be positive, "
+                    f"got {base!r}"
+                )
+            if bandwidth is None or not bandwidth > 0.0:
+                raise ValueError(
+                    f"InterconnectModel.{name}.bandwidth must be "
+                    f"positive, got {bandwidth!r}"
+                )
+
 
 class ClusterNode:
     """One node: kernel + optional HPCSched."""
@@ -98,6 +118,11 @@ class Cluster:
         self._live_total = 0
         for node in self.nodes:
             node.kernel.on_live_change = self._note_live_change
+        #: Simulated time each rank's task exited, recorded by the
+        #: task ``on_exit`` hooks :meth:`launch` installs.  These are
+        #: the per-rank completion times the sharded runner's parity
+        #: oracle compares bit-for-bit against a sharded run.
+        self.rank_exit: Dict[int, float] = {}
 
     def _note_live_change(self, delta: int) -> None:
         self._live_total += delta
@@ -137,12 +162,19 @@ class Cluster:
                 cpus_allowed=[slot.cpu],
             )
             task.program = self._wrap(factory, mpi) if self.use_hpc else factory(mpi)
+            task.on_exit = self._exit_recorder(rank)
             self.runtime.bind(rank, task, kernel=node.kernel)
             tasks[rank] = task
             pending.append((node.kernel, task, slot.cpu))
         for kernel, task, cpu in pending:
             kernel.start_task(task, cpu=cpu)
         return tasks
+
+    def _exit_recorder(self, rank: int):
+        def record(_task) -> None:
+            self.rank_exit[rank] = self.sim.now
+
+        return record
 
     @staticmethod
     def _wrap(factory, mpi: MPIRank) -> Generator:

@@ -11,7 +11,7 @@ totals.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Generator, Optional, Sequence
 
 from repro.cluster.cluster import Cluster
@@ -43,6 +43,15 @@ class ClusterRunResult:
     node_loads: Dict[int, float]
     #: Simulation events the shared engine delivered for this run.
     events: int = 0
+    #: Simulated time each rank's task exited — the bit-exact quantity
+    #: the sharded parity oracle compares.
+    rank_exit: Dict[int, float] = field(default_factory=dict)
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    #: Scale-out bookkeeping: 1/serial for the single-process path.
+    shards: int = 1
+    workers: str = "serial"
+    windows: int = 0
 
 
 def _worker(load: float, iterations: int):
@@ -55,6 +64,14 @@ def _worker(load: float, iterations: int):
         return prog()
 
     return factory
+
+
+def _placement_for(strategy, loads, n_nodes, cpn) -> GangPlacement:
+    if strategy == "block":
+        return block_placement(len(loads), n_nodes, cpn)
+    if strategy == "gang":
+        return gang_placement(loads, n_nodes, cpn)
+    raise ValueError(f"unknown placement strategy {strategy!r}")
 
 
 def run_cluster(
@@ -70,14 +87,9 @@ def run_cluster(
         n_nodes=n_nodes,
         heuristic_factory=UniformHeuristic if use_hpc else None,
     )
-    cpn = cluster.cpus_per_node
-    if strategy == "block":
-        placement = block_placement(len(loads), n_nodes, cpn)
-    elif strategy == "gang":
-        placement = gang_placement(loads, n_nodes, cpn)
-    else:
-        raise ValueError(f"unknown placement strategy {strategy!r}")
-
+    placement = _placement_for(
+        strategy, loads, n_nodes, cluster.cpus_per_node
+    )
     programs = [_worker(load, iterations) for load in loads]
     cluster.launch(programs, placement)
     exec_time = cluster.run()
@@ -86,4 +98,49 @@ def run_cluster(
         exec_time=exec_time,
         node_loads=placement.node_loads(loads),
         events=cluster.sim.events_processed,
+        rank_exit=dict(cluster.rank_exit),
+        messages_sent=cluster.runtime.messages_sent,
+        messages_delivered=cluster.runtime.messages_delivered,
+    )
+
+
+def run_cluster_sharded(
+    strategy: str,
+    loads: Optional[Sequence[float]] = None,
+    iterations: int = DEFAULT_ITERATIONS,
+    n_nodes: int = 2,
+    use_hpc: bool = True,
+    shards: int = 2,
+    workers: str = "auto",
+) -> ClusterRunResult:
+    """The sharded-PDES twin of :func:`run_cluster`: same workload,
+    same placement, the cluster partitioned over ``shards`` simulators
+    (see :mod:`repro.cluster.sharded`).  Per-rank completion times are
+    bit-identical to the serial run's."""
+    from repro.cluster.sharded import run_sharded
+    from repro.power5.machine import MachineTopology
+
+    loads = list(loads if loads is not None else DEFAULT_LOADS)
+    cpn = MachineTopology().n_cpus
+    placement = _placement_for(strategy, loads, n_nodes, cpn)
+    programs = [_worker(load, iterations) for load in loads]
+    result = run_sharded(
+        n_nodes=n_nodes,
+        programs=programs,
+        placement=placement,
+        heuristic_factory=UniformHeuristic if use_hpc else None,
+        shards=shards,
+        workers=workers,
+    )
+    return ClusterRunResult(
+        placement=placement,
+        exec_time=result.exec_time,
+        node_loads=placement.node_loads(loads),
+        events=result.events,
+        rank_exit=dict(result.rank_exit),
+        messages_sent=result.messages_sent,
+        messages_delivered=result.messages_delivered,
+        shards=result.n_shards,
+        workers=result.workers,
+        windows=result.windows,
     )

@@ -1,0 +1,1125 @@
+"""Sharded cluster simulation: conservative PDES across workers.
+
+The single-process :class:`~repro.cluster.cluster.Cluster` funnels every
+node through one :class:`~repro.simcore.engine.Simulator`.  But nodes
+interact *only* through MPI messages, and the interconnect charges every
+inter-node message at least ``interconnect.inter.base`` seconds — which
+is exactly the **lookahead** a conservative parallel discrete-event
+simulation needs: if every shard has advanced to time ``T``, no shard
+can receive a new cross-shard event before ``T + lookahead``.
+
+This module partitions the cluster's nodes into ``K`` shards, each
+owning its own simulator + kernels, and advances them in lock-step time
+windows:
+
+* within a window each shard runs its event loop independently;
+* cross-shard MPI traffic is intercepted at the ``MPIRuntime`` boundary
+  (:class:`ShardMPIRuntime`) and *externalized* into an outbox instead
+  of being scheduled locally;
+* at the window barrier the coordinator routes outboxes to their
+  destination shards, completes cross-shard collectives, and grants the
+  next window; destinations inject the traffic as ordinary events.
+
+**Adaptive windows.**  Fixed ``lookahead``-wide windows would need one
+barrier per 40–50 µs of simulated time — hundreds of thousands of
+round-trips for a multi-second run.  Instead each window's horizon is::
+
+    H = min(earliest_action over shards, earliest fresh directive) + L
+
+where ``earliest_action`` is a sound lower bound on the next instant a
+shard can *act* (send, arrive at a collective, or change shared-visible
+state).  Every event a shard executes inside the window has a timestamp
+at or above that bound, so every derived cross-shard directive lands at
+or after ``H`` — always injectable at the next window start, never in
+the past.
+
+**Parked balance timers.**  The dominant event class at cluster scale
+is the per-CPU load-balance timer (priority ``EVPRIO_BALANCE``), which
+is a pure no-op re-arm while its kernel has nothing queued
+(``Kernel._queued_total == 0``; the fire cannot pull or migrate).  At
+every window barrier the engine *parks* such provably-inert chains:
+their events are removed from the heap and remembered as ``(next chain
+point, callback)``.  The instant a kernel's run queue becomes non-empty
+(the ``Kernel.on_queued_nonempty`` 0→1 edge, which fires *inside* the
+enqueueing event, before any same-instant balance fire — balance has
+the numerically largest, i.e. last-run, priority), its chains are
+reinstated at the first chain point at or after ``now``, computed by
+repeated ``t += interval`` along the same float-accumulation chain the
+serial re-arms would walk, so every fire that can observe queued work
+happens at the bit-exact instant it would serially.  Skipped fires are
+no-op re-arms by construction; parked chains of a drained kernel are
+dropped at the end of the run exactly as the serial chain dies at its
+first fire after the last exit.  This eliminates the ~90 % of cluster
+events that are inert, and shrinks the heap every other event pays to
+sift through.
+
+**Determinism.**  Cross-shard messages are sorted by ``(send_time,
+src_rank, seq)`` before injection; collective waiters are released in
+``(arrival_time, rank)`` order; window horizons are pure functions of
+reported state.  A sharded run is a deterministic function of its
+inputs, and :mod:`repro.validate.sharded_parity` asserts per-rank
+completion times and aggregate metrics match the single-process run
+bit-for-bit.
+
+Two transports share all of the above logic: *inline* (every shard in
+the coordinating process — the right choice on few-core hosts, where
+the win comes from parking inert timers) and *process* (one forked
+worker per shard exchanging grants/reports over pipes — true
+parallelism on multi-core hosts).  ``workers="auto"`` picks between
+them from the host CPU count.
+
+Limitations (documented, asserted where cheap): a communicator spanning
+shards must have a reduction-tree delay of at least the lookahead (true
+for MPI_COMM_WORLD by construction of ``L``); two *distinct* live
+communicators over the identical rank set running the same collective
+kind concurrently are indistinguishable to the coordinator; same-instant
+cross-shard wake ordering is deterministic but only guaranteed to match
+the serial schedule when the woken ranks live on distinct CPUs (true
+for the one-rank-per-CPU placements this repository studies); a
+reinstated balance fire that collides to the exact instant of another
+kernel's never-parked fire runs after it rather than in original arm
+order (harmless: balance rounds on distinct kernels touch disjoint
+state and commute).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Generator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.cluster.cluster import ClusterNode, InterconnectModel
+from repro.cluster.gang import GangPlacement
+from repro.hpcsched.heuristics import Heuristic
+from repro.kernel.core_sched import EVPRIO_BALANCE
+from repro.mpi.comm import Communicator
+from repro.mpi.messages import Message
+from repro.mpi.process import MPIRank
+from repro.mpi.runtime import _EVPRIO_DELIVERY, MPIRuntime
+from repro.power5.machine import MachineTopology
+from repro.power5.perfmodel import CPU_BOUND, PerfProfile
+from repro.simcore.engine import Simulator
+
+_INF = math.inf
+
+
+class ShardedRunError(RuntimeError):
+    """Raised when a sharded run cannot proceed (deadlock, or a
+    configuration that would violate the conservative lookahead)."""
+
+
+# ----------------------------------------------------------------------
+# Shard planning
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardPlan:
+    """Partition of cluster nodes into contiguous shard blocks.
+
+    Nodes are never split: all CPUs (and hence all ranks, and all SMT
+    core pairs of a :class:`GangPlacement`) of one node live on one
+    shard, so intra-node traffic never crosses a shard boundary and the
+    inter-node base latency lower-bounds every cross-shard message.
+    """
+
+    n_nodes: int
+    node_shard: Tuple[int, ...]  # node id -> shard id
+
+    @property
+    def n_shards(self) -> int:
+        return max(self.node_shard) + 1 if self.node_shard else 0
+
+    def nodes_of(self, shard: int) -> Tuple[int, ...]:
+        """Global node ids owned by ``shard``, ascending."""
+        return tuple(
+            n for n, s in enumerate(self.node_shard) if s == shard
+        )
+
+
+def plan_shards(n_nodes: int, n_shards: int) -> ShardPlan:
+    """Split ``n_nodes`` into ``n_shards`` contiguous, balanced blocks."""
+    if n_shards <= 0:
+        raise ValueError(f"need at least one shard, got {n_shards}")
+    if n_nodes <= 0:
+        raise ValueError(f"need at least one node, got {n_nodes}")
+    n_shards = min(n_shards, n_nodes)
+    assignment = []
+    for node in range(n_nodes):
+        assignment.append(node * n_shards // n_nodes)
+    return ShardPlan(n_nodes=n_nodes, node_shard=tuple(assignment))
+
+
+# ----------------------------------------------------------------------
+# Wire records (picklable: they cross pipes in process mode)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WireSend:
+    """A cross-shard point-to-point message, as externalized by the
+    source shard.  ``arrival_time`` was computed by the source (which
+    knows the full rank→node map), with the identical float expression
+    the serial runtime uses."""
+
+    src: int
+    dst: int
+    tag: int
+    size: int
+    send_time: float
+    arrival_time: float
+    seq: int  # source-shard message sequence, for deterministic ties
+    payload: object = None
+
+
+@dataclass(frozen=True)
+class WireArrival:
+    """One rank's arrival at a collective that spans shards."""
+
+    ckey: Tuple[int, ...]  # the communicator's rank tuple
+    kind: str
+    rank: int
+    time: float
+    comm_size: int
+
+
+@dataclass
+class WindowReport:
+    """What a shard tells the coordinator at a window barrier."""
+
+    shard_id: int
+    now: float
+    #: Lower bound on the next instant this shard can act (inf when
+    #: drained).  See the module docstring's horizon argument.
+    next_action: float
+    live: int
+    sends: List[WireSend] = field(default_factory=list)
+    arrivals: List[WireArrival] = field(default_factory=list)
+    exits: Dict[int, float] = field(default_factory=dict)
+
+
+@dataclass
+class WindowGrant:
+    """What the coordinator tells a shard at a window barrier."""
+
+    horizon: float
+    #: Sorted by (send_time, src_rank, seq) — the determinism rule.
+    deliveries: List[WireSend] = field(default_factory=list)
+    #: (release_time, rank, kind), in (arrival_time, rank) order.
+    wakes: List[Tuple[float, int, str]] = field(default_factory=list)
+
+
+@dataclass
+class ShardResult:
+    """Final per-shard accounting returned after the stop sentinel."""
+
+    shard_id: int
+    rank_exit: Dict[int, float]
+    events_processed: int
+    messages_sent: int
+    messages_delivered: int
+
+
+# ----------------------------------------------------------------------
+# The MPI runtime with message externalization hooks
+# ----------------------------------------------------------------------
+class ShardMPIRuntime(MPIRuntime):
+    """An :class:`MPIRuntime` that owns only its shard's ranks.
+
+    Local traffic takes the inherited (serial) code paths unchanged.
+    Cross-shard traffic is externalized: ``post_send`` to a remote rank
+    appends a :class:`WireSend` to the outbox (scheduling only the local
+    isend-completion event), and ``collective_arrive`` on a communicator
+    spanning shards appends a :class:`WireArrival` and parks the caller
+    exactly as the serial runtime would.
+    """
+
+    def __init__(
+        self,
+        kernel,
+        world_ranks: Sequence[int],
+        local_ranks: Sequence[int],
+        route_delay,
+    ) -> None:
+        super().__init__(kernel, route_delay=route_delay)
+        self._local_ranks = frozenset(local_ranks)
+        self.world = Communicator(sorted(world_ranks), name="world")
+        self.outbox_sends: List[WireSend] = []
+        self.outbox_arrivals: List[WireArrival] = []
+        # Communicator membership never changes after construction, so
+        # the is-fully-local test is cached per communicator object.
+        # Keyed by ``id``; the strong-ref list pins each keyed object so
+        # the id cannot be recycled.
+        self._comm_local: Dict[int, bool] = {}
+        self._comm_refs: List[object] = []
+
+    # -- registration ---------------------------------------------------
+    def bind(self, rank, task, kernel=None) -> None:
+        """Bind a *local* rank.  Unlike the serial runtime this must not
+        rebuild ``world`` from the bound ranks: the world communicator
+        spans every shard and was fixed at construction."""
+        if rank in self.tasks:
+            raise ValueError(f"rank {rank} already bound")
+        if rank not in self._local_ranks:
+            raise ValueError(f"rank {rank} is not local to this shard")
+        from repro.mpi.runtime import _RankState
+
+        self.tasks[rank] = task
+        self._kernels[rank] = kernel or self.kernel
+        self._states[rank] = _RankState()
+
+    # -- point-to-point -------------------------------------------------
+    def post_send(
+        self, src, dst, tag, size, payload=None, isend_handle=None
+    ) -> Message:
+        if dst in self._local_ranks:
+            return super().post_send(
+                src, dst, tag, size, payload=payload,
+                isend_handle=isend_handle,
+            )
+        if dst not in self.world:
+            raise ValueError(f"send to unknown rank {dst}")
+        # Remote: same Message construction (identical delay/arrival
+        # float expressions as the serial runtime), but delivery is the
+        # destination shard's business — externalize the wire form.
+        now = self.kernel.now
+        delay = (
+            self.route_delay(src, dst, size)
+            if self.route_delay is not None
+            else self.latency.delay(size)
+        )
+        msg = Message(
+            src=src,
+            dst=dst,
+            tag=tag,
+            size=size,
+            send_time=now,
+            arrival_time=now + delay,
+            payload=payload,
+            seq=self._msg_seq,
+            isend_handle=isend_handle,
+        )
+        self._msg_seq += 1
+        self.messages_sent += 1
+        self.outbox_sends.append(
+            WireSend(
+                src=src,
+                dst=dst,
+                tag=tag,
+                size=size,
+                send_time=msg.send_time,
+                arrival_time=msg.arrival_time,
+                seq=msg.seq,
+                payload=payload,
+            )
+        )
+        if isend_handle is not None:
+            # The serial runtime completes the isend handle at the
+            # delivery event; replicate the completion locally at the
+            # same (time, priority).
+            self.kernel.sim.at(
+                msg.arrival_time,
+                lambda: self._ack_remote(msg),
+                priority=_EVPRIO_DELIVERY,
+                label="mpi-ack",
+            )
+        return msg
+
+    def _ack_remote(self, msg: Message) -> None:
+        msg.isend_handle.finish(msg)
+        self._check_waitall(msg.src)
+
+    # -- collectives ----------------------------------------------------
+    def collective_arrive(self, comm, kind, rank) -> bool:
+        local = self._comm_local.get(id(comm))
+        if local is None:
+            local = set(comm.ranks) <= self._local_ranks
+            self._comm_local[id(comm)] = local
+            self._comm_refs.append(comm)
+        if local:
+            return super().collective_arrive(comm, kind, rank)
+        if rank not in comm:
+            raise ValueError(f"rank {rank} not in {comm!r}")
+        self.outbox_arrivals.append(
+            WireArrival(
+                ckey=comm.ranks,
+                kind=kind,
+                rank=rank,
+                time=self.kernel.now,
+                comm_size=comm.size,
+            )
+        )
+        return False  # park, like every serial collective arrival
+
+    # -- injection (destination side) -----------------------------------
+    def inject_delivery(self, wire: WireSend):
+        """Schedule a cross-shard message's delivery locally; returns
+        the event."""
+        msg = Message(
+            src=wire.src,
+            dst=wire.dst,
+            tag=wire.tag,
+            size=wire.size,
+            send_time=wire.send_time,
+            arrival_time=wire.arrival_time,
+            payload=wire.payload,
+            seq=wire.seq,
+        )
+        return self.kernel.sim.at(
+            wire.arrival_time,
+            lambda: self._deliver(msg),
+            priority=_EVPRIO_DELIVERY,
+            label="mpi-deliver",
+        )
+
+    def inject_wake(self, time: float, rank: int, kind: str):
+        """Schedule a coordinator-computed collective release locally;
+        returns the event."""
+        return self.kernel.sim.at(
+            time,
+            lambda: self._wake(rank),
+            priority=_EVPRIO_DELIVERY,
+            label="mpi-release",
+        )
+
+
+# ----------------------------------------------------------------------
+# One shard: nodes + kernels + windowed execution
+# ----------------------------------------------------------------------
+class ShardEngine:
+    """Builds and drives one shard of the cluster.
+
+    Used directly by the inline transport and inside the forked worker
+    by the process transport — the windowed execution logic is identical
+    either way.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        node_ids: Sequence[int],
+        programs: Sequence[Callable[[MPIRank], Generator]],
+        placement: GangPlacement,
+        heuristic_factory: Optional[Callable[[], Heuristic]],
+        topology: Optional[MachineTopology] = None,
+        interconnect: Optional[InterconnectModel] = None,
+        profile: PerfProfile = CPU_BOUND,
+        windowed: bool = True,
+    ) -> None:
+        self.shard_id = shard_id
+        self.sim = Simulator()
+        self.topology = topology or MachineTopology()
+        self.interconnect = interconnect or InterconnectModel()
+        self.nodes: Dict[int, ClusterNode] = {
+            nid: ClusterNode(nid, self.sim, heuristic_factory, self.topology)
+            for nid in node_ids
+        }
+        self._node_set = frozenset(node_ids)
+        self._rank_node: Dict[int, int] = {
+            rank: slot.node for rank, slot in placement.slots.items()
+        }
+        world_ranks = range(len(programs))
+        local_ranks = [
+            r for r in world_ranks if self._rank_node[r] in self._node_set
+        ]
+        first = next(iter(self.nodes.values()))
+        self.runtime = ShardMPIRuntime(
+            first.kernel,
+            world_ranks=world_ranks,
+            local_ranks=local_ranks,
+            route_delay=self._route_delay,
+        )
+        self.use_hpc = heuristic_factory is not None
+        self.live = 0
+        self.kernels = [n.kernel for n in self.nodes.values()]
+        for kernel in self.kernels:
+            kernel.on_live_change = self._note_live_change
+        self.rank_exit: Dict[int, float] = {}
+        self._fresh_exits: Dict[int, float] = {}
+        self._injected: List[object] = []  # unfired directive events
+        # Balance-timer parking (windowed mode only; the 1-shard direct
+        # path keeps the stock chains so its event stream is identical
+        # to the serial run's).  Labels are uniquified per node — the
+        # stock per-kernel labels collide across kernels — and stock
+        # arming is suppressed so :meth:`_arm_balance` can install the
+        # self-parking wrapper chains after launch.
+        self._parked: Dict[str, Tuple[float, Callable[[], None]]] = {}
+        self._label_kernel: Dict[str, object] = {}
+        self.windowed = windowed
+        if windowed:
+            for nid, node in self.nodes.items():
+                kernel = node.kernel
+                kernel._lbl_balance = {
+                    c: f"balance/{nid}/{c}"
+                    for c in kernel.machine.cpu_ids
+                }
+                for lbl in kernel._lbl_balance.values():
+                    self._label_kernel[lbl] = kernel
+                unpark = self._unparker(kernel)
+                kernel.on_queued_nonempty = unpark
+                kernel.on_migratable = unpark
+                kernel._balance_started = True
+        self._launch(programs, placement, profile)
+        if windowed:
+            for nid in sorted(self.nodes):
+                self._arm_balance(self.nodes[nid].kernel)
+
+    # -- construction helpers -------------------------------------------
+    def _note_live_change(self, delta: int) -> None:
+        self.live += delta
+        if self.live == 0 and delta < 0:
+            # Stop the engine after the current event, replacing a
+            # per-event ``stop_when`` predicate.  Same stop instant:
+            # ``stop_when`` was evaluated after each event + deferreds,
+            # and ``stop()`` is honoured at exactly that point.
+            self.sim.stop()
+
+    def _route_delay(self, src: int, dst: int, size: int) -> float:
+        same_node = self._rank_node.get(src) == self._rank_node.get(dst)
+        model = self.interconnect.intra if same_node else self.interconnect.inter
+        return model.delay(size)
+
+    def _launch(self, programs, placement: GangPlacement, profile) -> None:
+        """Create and start the shard-local ranks, in the same relative
+        (ascending-rank) order the serial :meth:`Cluster.launch` uses."""
+        pending = []
+        for rank, factory in enumerate(programs):
+            slot = placement.slots[rank]
+            if slot.node not in self._node_set:
+                continue
+            node = self.nodes[slot.node]
+            mpi = MPIRank(self.runtime, rank)
+            task = node.kernel.create_task(
+                f"rank{rank}",
+                perf_profile=profile,
+                cpus_allowed=[slot.cpu],
+            )
+            task.program = (
+                self._wrap(factory, mpi) if self.use_hpc else factory(mpi)
+            )
+            task.on_exit = self._exit_recorder(rank)
+            self.runtime.bind(rank, task, kernel=node.kernel)
+            pending.append((node.kernel, task, slot.cpu))
+        for kernel, task, cpu in pending:
+            kernel.start_task(task, cpu=cpu)
+
+    @staticmethod
+    def _wrap(factory, mpi: MPIRank) -> Generator:
+        def prog():
+            yield mpi.setscheduler_hpc()
+            yield from factory(mpi)
+
+        return prog()
+
+    def _exit_recorder(self, rank: int):
+        def record(_task) -> None:
+            self.rank_exit[rank] = self.sim.now
+            self._fresh_exits[rank] = self.sim.now
+
+        return record
+
+    # -- window protocol ------------------------------------------------
+    def initial_report(self) -> WindowReport:
+        """The pre-first-window report: nothing executed yet, so the
+        coordinator sees launch-time state only."""
+        return self._report()
+
+    def step(self, grant: WindowGrant) -> WindowReport:
+        """Inject the grant's directives, run one window, report."""
+        rt = self.runtime
+        for wire in grant.deliveries:  # pre-sorted by the coordinator
+            self._injected.append(rt.inject_delivery(wire))
+        for time, rank, kind in grant.wakes:
+            self._injected.append(rt.inject_wake(time, rank, kind))
+        if self.live > 0:
+            # No stop_when: _note_live_change calls sim.stop() when the
+            # last local rank exits, at the same post-event point the
+            # predicate used to be tested.
+            self.sim.run(until=grant.horizon, until_exclusive=True)
+        elif self._unfired_directives():
+            # Locally drained, but cross-shard deliveries the serial run
+            # would still execute (e.g. a message to a rank that already
+            # exited) are pending — fire them for counter parity.
+            self.sim.run(until=grant.horizon, until_exclusive=True)
+        return self._report()
+
+    def run_direct(self) -> None:
+        """The 1-shard special case: no windows, no fast-forward — the
+        exact serial drive, so the run is byte-identical to
+        :meth:`Cluster.run` (same event stream, same counters; the
+        stop arrives via ``sim.stop()`` from ``_note_live_change`` at
+        the same post-event instant the serial predicate fires)."""
+        if self.live > 0:
+            self.sim.run()
+
+    def result(self) -> ShardResult:
+        """Final accounting, collected after the global stop."""
+        return ShardResult(
+            shard_id=self.shard_id,
+            rank_exit=dict(self.rank_exit),
+            events_processed=self.sim.events_processed,
+            messages_sent=self.runtime.messages_sent,
+            messages_delivered=self.runtime.messages_delivered,
+        )
+
+    # -- action bound and balance-timer parking -------------------------
+    def _unfired_directives(self) -> List[object]:
+        self._injected = [
+            ev
+            for ev in self._injected
+            if ev._queue is not None and not ev.cancelled
+        ]
+        return self._injected
+
+    def _next_action(self) -> float:
+        """Sound lower bound on the next instant this shard can send,
+        arrive at a collective, or change shared-visible state.  Parked
+        balance chains are excluded by construction (not in the heap),
+        and an armed balance fire on a currently-idle kernel is skipped
+        too: it cannot act unless some earlier-or-equal event enqueues
+        work first, and every such event is itself counted by this
+        scan."""
+        if self.live <= 0:
+            pending = self._unfired_directives()
+            if not pending:
+                return _INF
+            return min(ev.time for ev in pending)
+        label_kernel = self._label_kernel
+        best = _INF
+        for entry in self.sim.queue._heap:
+            if entry[0] >= best:
+                continue
+            ev = entry[3]
+            if ev.cancelled:
+                continue
+            kernel = label_kernel.get(ev.label)
+            if kernel is not None and kernel._queued_total == 0:
+                continue
+            best = entry[0]
+        return best
+
+    def _arm_balance(self, kernel) -> None:
+        """Arm ``kernel``'s balance chains as *self-parking* wrappers.
+
+        The wrapper is :meth:`Kernel._periodic_balance` with one change:
+        when the fire leaves the run queues empty — or the kernel holds
+        no migratable task (every mask is a singleton, so ``_steal`` can
+        never move anything) — the next chain point is recorded in
+        ``self._parked`` instead of being pushed on the heap: a fire
+        there would provably be a no-op re-arm.  A kernel with zero
+        migratable tasks parks its chains at arm time without ever
+        touching the heap.  Arm times, chain arithmetic (``t = now +
+        interval`` per re-arm) and the acting path
+        (``balancer.periodic``) are bit-identical to the stock chain's,
+        so every fire that can observe actionable work runs at exactly
+        its serial instant with exactly the serial state.
+        """
+        if kernel.live_tasks <= 0:
+            return  # serial never arms timers on a rankless node
+        interval = kernel._lb_interval
+        cpu_ids = kernel.machine.cpu_ids
+        now = self.sim.now
+        inert = kernel._migratable == 0
+        for i, cpu in enumerate(cpu_ids):
+            offset = interval * (i + 1) / (len(cpu_ids) + 1)
+            label = kernel._lbl_balance[cpu]
+            fire = self._balance_fire(kernel, cpu, label)
+            if inert:
+                # Every task is pinned: the whole chain is inert until a
+                # migratable task appears, so park it at its first chain
+                # point instead of ever touching the heap.
+                self._parked[label] = (now + offset, fire)
+            else:
+                self.sim.after(
+                    offset, fire, priority=EVPRIO_BALANCE, label=label
+                )
+
+    def _balance_fire(
+        self, kernel, cpu: int, label: str
+    ) -> Callable[[], None]:
+        """One chain's wrapper callback (own binding per chain)."""
+        sim = self.sim
+        parked = self._parked
+
+        def fire() -> None:
+            if kernel.live_tasks <= 0:
+                return  # chain dies, as the serial fire would
+            if kernel._queued_total and kernel._migratable:
+                kernel.balancer.periodic(cpu)
+            t = sim.now + kernel._lb_interval
+            if kernel._queued_total == 0 or kernel._migratable == 0:
+                parked[label] = (t, fire)
+            else:
+                sim.at(t, fire, priority=EVPRIO_BALANCE, label=label)
+
+        return fire
+
+    def _unparker(self, kernel) -> Callable[[], None]:
+        """The ``on_queued_nonempty`` / ``on_migratable`` hook:
+        reinstate ``kernel``'s parked chains at their first chain point
+        at or after ``now`` once both conditions a balance pull needs
+        (queued work, a migratable task) hold.
+        The walk repeats the serial re-arms' ``t += interval`` float
+        accumulation, so landing times are bit-identical; a chain point
+        equal to ``now`` fires after the current (enqueueing) event,
+        exactly as the serial heap orders it (balance runs last at any
+        instant)."""
+        def unpark() -> None:
+            parked = self._parked
+            if not parked:
+                return
+            if kernel._queued_total == 0 or kernel._migratable == 0:
+                return  # still provably inert; the other edge re-fires
+
+            now = self.sim.now
+            interval = kernel._lb_interval
+            for label in kernel._lbl_balance.values():
+                item = parked.pop(label, None)
+                if item is None:
+                    continue
+                t, fn = item
+                while t < now:
+                    t += interval
+                self.sim.at(
+                    t, fn, priority=EVPRIO_BALANCE, label=label
+                )
+
+        return unpark
+
+    def _report(self) -> WindowReport:
+        rt = self.runtime
+        sends, rt.outbox_sends = rt.outbox_sends, []
+        arrivals, rt.outbox_arrivals = rt.outbox_arrivals, []
+        exits, self._fresh_exits = self._fresh_exits, {}
+        return WindowReport(
+            shard_id=self.shard_id,
+            now=self.sim.now,
+            next_action=self._next_action(),
+            live=self.live,
+            sends=sends,
+            arrivals=arrivals,
+            exits=exits,
+        )
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+class _CollectivePending:
+    __slots__ = ("arrivals",)
+
+    def __init__(self) -> None:
+        self.arrivals: List[WireArrival] = []
+
+
+class _Coordinator:
+    """Routes outboxes, completes cross-shard collectives, computes
+    window horizons, and decides the global stop."""
+
+    def __init__(
+        self,
+        n_shards: int,
+        lookahead: float,
+        rank_shard: Dict[int, int],
+        tree_base: float,
+    ) -> None:
+        self.n_shards = n_shards
+        self.lookahead = lookahead
+        self.rank_shard = rank_shard
+        self.tree_base = tree_base
+        self._pending: Dict[Tuple[Tuple[int, ...], str], _CollectivePending] = {}
+        self.all_exits: Dict[int, float] = {}
+        self.windows = 0
+
+    def _tree_delay(self, size: int) -> float:
+        # Must match MPIRuntime._tree_delay bit-for-bit.
+        depth = max(1, (size - 1).bit_length())
+        return depth * self.tree_base
+
+    def route(
+        self, reports: Sequence[WindowReport]
+    ) -> Tuple[List[WindowGrant], float]:
+        """Consume the reports' outboxes; returns per-shard grants (with
+        horizon still unset) and the earliest fresh directive time."""
+        deliveries: List[List[WireSend]] = [[] for _ in range(self.n_shards)]
+        wakes: List[List[Tuple[float, int, str]]] = [
+            [] for _ in range(self.n_shards)
+        ]
+        directive_min = _INF
+        for report in reports:
+            self.all_exits.update(report.exits)
+            for wire in report.sends:
+                deliveries[self.rank_shard[wire.dst]].append(wire)
+                if wire.arrival_time < directive_min:
+                    directive_min = wire.arrival_time
+            for arrival in report.arrivals:
+                key = (arrival.ckey, arrival.kind)
+                pend = self._pending.setdefault(key, _CollectivePending())
+                pend.arrivals.append(arrival)
+                if len(pend.arrivals) == arrival.comm_size:
+                    del self._pending[key]
+                    release_min = self._complete_collective(
+                        arrival, pend.arrivals, wakes
+                    )
+                    if release_min < directive_min:
+                        directive_min = release_min
+        grants = []
+        for shard in range(self.n_shards):
+            batch = deliveries[shard]
+            if len(batch) > 1:
+                batch.sort(key=lambda w: (w.send_time, w.src, w.seq))
+            grants.append(
+                WindowGrant(
+                    horizon=_INF, deliveries=batch, wakes=wakes[shard]
+                )
+            )
+        return grants, directive_min
+
+    def _complete_collective(
+        self,
+        last: WireArrival,
+        arrivals: List[WireArrival],
+        wakes: List[List[Tuple[float, int, str]]],
+    ) -> float:
+        delay = self._tree_delay(last.comm_size)
+        if delay < self.lookahead:
+            raise ShardedRunError(
+                f"collective over {last.comm_size} ranks spanning shards "
+                f"has tree delay {delay:.2e}s < lookahead "
+                f"{self.lookahead:.2e}s; such sub-communicators are not "
+                "supported by the conservative window protocol — reduce "
+                "the shard count or keep the communicator within a shard"
+            )
+        # Serial semantics: everyone is released tree-delay after the
+        # last arrival, in arrival order; same-instant arrival ties are
+        # broken by rank (equivalent for the one-rank-per-CPU placements
+        # this repository studies — see module docstring).
+        ordered = sorted(arrivals, key=lambda a: (a.time, a.rank))
+        t_last = ordered[-1].time
+        release = t_last + delay
+        for arrival in ordered:
+            wakes[self.rank_shard[arrival.rank]].append(
+                (release, arrival.rank, arrival.kind)
+            )
+        return release
+
+    def incomplete_collectives(self) -> int:
+        return len(self._pending)
+
+
+# ----------------------------------------------------------------------
+# Transports
+# ----------------------------------------------------------------------
+class _InlineWorkers:
+    """All shards in this process, stepped round-robin.
+
+    A ``None`` grant skips that shard this window (its previous report
+    is still exact, so the caller keeps it): the shard has nothing to
+    inject and nothing to execute below the horizon.
+    """
+
+    name = "inline"
+
+    def __init__(self, builders: Sequence[Callable[[], ShardEngine]]) -> None:
+        self.engines = [build() for build in builders]
+
+    def initial(self) -> List[WindowReport]:
+        return [e.initial_report() for e in self.engines]
+
+    def step(
+        self, grants: Sequence[Optional[WindowGrant]]
+    ) -> List[Optional[WindowReport]]:
+        return [
+            e.step(g) if g is not None else None
+            for e, g in zip(self.engines, grants)
+        ]
+
+    def finish(self) -> List[ShardResult]:
+        return [e.result() for e in self.engines]
+
+    def close(self) -> None:
+        pass
+
+
+def _process_worker_main(builder, conn) -> None:
+    """Forked worker: build the shard, then serve grant→report rounds
+    until the ``None`` stop sentinel."""
+    try:
+        engine = builder()
+        conn.send(("report", engine.initial_report()))
+        while True:
+            grant = conn.recv()
+            if grant is None:
+                conn.send(("result", engine.result()))
+                return
+            conn.send(("report", engine.step(grant)))
+    except BaseException as exc:  # surface the traceback to the parent
+        import traceback
+
+        conn.send(("error", f"{exc}\n{traceback.format_exc()}"))
+        raise
+    finally:
+        conn.close()
+
+
+class _ProcessWorkers:
+    """One forked worker per shard; grants/reports travel over pipes.
+
+    Fork (not spawn) start method: worker arguments — including task
+    program closures — are inherited, never pickled.  Only the wire
+    records cross the pipes.
+    """
+
+    name = "process"
+
+    def __init__(self, builders: Sequence[Callable[[], ShardEngine]]) -> None:
+        import multiprocessing as mp
+
+        ctx = mp.get_context("fork")
+        self.conns = []
+        self.procs = []
+        for builder in builders:
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_process_worker_main, args=(builder, child),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self.conns.append(parent)
+            self.procs.append(proc)
+
+    def _recv(self, conn):
+        kind, value = conn.recv()
+        if kind == "error":
+            self.close()
+            raise ShardedRunError(f"shard worker failed:\n{value}")
+        return value
+
+    def initial(self) -> List[WindowReport]:
+        return [self._recv(c) for c in self.conns]
+
+    def step(
+        self, grants: Sequence[Optional[WindowGrant]]
+    ) -> List[Optional[WindowReport]]:
+        # A skipped shard (None grant) costs no pipe round-trip at all.
+        for conn, grant in zip(self.conns, grants):
+            if grant is not None:
+                conn.send(grant)
+        return [
+            self._recv(conn) if grant is not None else None
+            for conn, grant in zip(self.conns, grants)
+        ]
+
+    def finish(self) -> List[ShardResult]:
+        for conn in self.conns:
+            conn.send(None)
+        results = [self._recv(c) for c in self.conns]
+        self.close()
+        return results
+
+    def close(self) -> None:
+        for conn in self.conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for proc in self.procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+
+
+def _resolve_workers(workers: str, n_shards: int) -> str:
+    """auto → process on multi-core hosts with fork, inline otherwise."""
+    if workers not in ("auto", "inline", "process"):
+        raise ValueError(
+            f"workers must be auto, inline or process, got {workers!r}"
+        )
+    if workers != "auto":
+        return workers
+    if n_shards < 2:
+        return "inline"
+    cpus = os.cpu_count() or 1
+    if cpus < 2 or not hasattr(os, "fork"):
+        return "inline"
+    return "process"
+
+
+# ----------------------------------------------------------------------
+# Top-level runner
+# ----------------------------------------------------------------------
+@dataclass
+class ShardedRunResult:
+    """Outcome of a sharded cluster run (parity-comparable fields)."""
+
+    exec_time: float
+    rank_exit: Dict[int, float]
+    events: int
+    messages_sent: int
+    messages_delivered: int
+    n_shards: int
+    workers: str
+    windows: int
+    lookahead: float
+
+
+def run_sharded(
+    n_nodes: int,
+    programs: Sequence[Callable[[MPIRank], Generator]],
+    placement: GangPlacement,
+    heuristic_factory: Optional[Callable[[], Heuristic]] = None,
+    shards: int = 2,
+    workers: str = "auto",
+    topology: Optional[MachineTopology] = None,
+    interconnect: Optional[InterconnectModel] = None,
+    profile: PerfProfile = CPU_BOUND,
+) -> ShardedRunResult:
+    """Run a cluster application sharded over ``shards`` simulators.
+
+    Semantically equivalent to building a :class:`Cluster`, calling
+    ``launch(programs, placement)`` and ``run()`` — the parity oracle
+    holds the two to bit-identical per-rank completion times.
+    """
+    if len(placement.slots) < len(programs):
+        raise ValueError("placement does not cover every rank")
+    interconnect = interconnect or InterconnectModel()
+    plan = plan_shards(n_nodes, shards)
+    n_shards = plan.n_shards
+    rank_shard = {
+        rank: plan.node_shard[slot.node]
+        for rank, slot in placement.slots.items()
+        if rank < len(programs)
+    }
+    # Conservative lookahead: no cross-shard p2p message can arrive
+    # sooner than the inter-node base latency, and no cross-shard
+    # collective can release sooner than the world reduction-tree delay.
+    from repro.mpi.messages import LatencyModel
+
+    runtime_base = LatencyModel().base
+    depth = max(1, (len(programs) - 1).bit_length())
+    lookahead = min(interconnect.inter.base, depth * runtime_base)
+
+    def make_builder(shard_id: int) -> Callable[[], ShardEngine]:
+        node_ids = plan.nodes_of(shard_id)
+
+        def build() -> ShardEngine:
+            return ShardEngine(
+                shard_id,
+                node_ids,
+                programs,
+                placement,
+                heuristic_factory,
+                topology=topology,
+                interconnect=interconnect,
+                profile=profile,
+                windowed=n_shards > 1,
+            )
+
+        return build
+
+    builders = [make_builder(s) for s in range(n_shards)]
+
+    mode = _resolve_workers(workers, n_shards)
+    if n_shards == 1:
+        # Byte-identical special case: one shard is the serial run.
+        engine = builders[0]()
+        engine.run_direct()
+        result = engine.result()
+        return ShardedRunResult(
+            exec_time=engine.sim.now,
+            rank_exit=result.rank_exit,
+            events=result.events_processed,
+            messages_sent=result.messages_sent,
+            messages_delivered=result.messages_delivered,
+            n_shards=1,
+            workers="inline",
+            windows=0,
+            lookahead=lookahead,
+        )
+
+    pool = (
+        _ProcessWorkers(builders) if mode == "process"
+        else _InlineWorkers(builders)
+    )
+    coord = _Coordinator(
+        n_shards=n_shards,
+        lookahead=lookahead,
+        rank_shard=rank_shard,
+        tree_base=runtime_base,
+    )
+    try:
+        reports = pool.initial()
+        fresh = reports
+        while True:
+            # Route only the *fresh* reports: a skipped shard's report
+            # was already consumed (its outbox routed) in the window
+            # that produced it.
+            grants, directive_min = coord.route(fresh)
+            total_live = sum(r.live for r in reports)
+            action_min = min(r.next_action for r in reports)
+            bound = min(action_min, directive_min)
+            if total_live == 0:
+                t_stop = max(coord.all_exits.values(), default=0.0)
+                if bound >= t_stop:
+                    break
+                # Deliveries the serial run would still execute before
+                # its stop instant: drain them.
+                horizon = t_stop
+            else:
+                if bound == _INF:
+                    raise ShardedRunError(
+                        f"sharded run deadlocked: {total_live} tasks "
+                        f"alive, no shard can act, "
+                        f"{coord.incomplete_collectives()} collective(s) "
+                        "incomplete"
+                    )
+                horizon = bound + coord.lookahead
+            # Step only the shards this window can touch: something to
+            # inject, or an event below the horizon.  A skipped shard's
+            # event stream is unaffected — windows bound how far ahead
+            # a shard may run, never what it executes — so its previous
+            # report stays exact (and in process mode the skip saves
+            # the pipe round-trip).
+            step_grants: List[Optional[WindowGrant]] = []
+            for grant, report in zip(grants, reports):
+                if (
+                    grant.deliveries
+                    or grant.wakes
+                    or report.next_action < horizon
+                ):
+                    grant.horizon = horizon
+                    step_grants.append(grant)
+                else:
+                    step_grants.append(None)
+            coord.windows += 1
+            stepped = pool.step(step_grants)
+            fresh = [r for r in stepped if r is not None]
+            reports = [
+                new if new is not None else old
+                for new, old in zip(stepped, reports)
+            ]
+        results = pool.finish()
+    except BaseException:
+        pool.close()
+        raise
+
+    rank_exit: Dict[int, float] = {}
+    for res in results:
+        rank_exit.update(res.rank_exit)
+    return ShardedRunResult(
+        exec_time=max(rank_exit.values(), default=0.0),
+        rank_exit=rank_exit,
+        events=sum(r.events_processed for r in results),
+        messages_sent=sum(r.messages_sent for r in results),
+        messages_delivered=sum(r.messages_delivered for r in results),
+        n_shards=n_shards,
+        workers=mode,
+        windows=coord.windows,
+        lookahead=lookahead,
+    )

@@ -210,7 +210,10 @@ class LoadImbalanceDetector:
             return
         if self.kernel.oracles is not None:
             self.kernel.oracles.on_iteration(task, util)
-        self.kernel._trace(task, "iteration", index=st.iterations, util=util)
+        if self.kernel.trace is not None:
+            self.kernel._trace(
+                task, "iteration", index=st.iterations, util=util
+            )
 
         if self.state == "frozen":
             if not self._behaviour_changed(task.pid, util):

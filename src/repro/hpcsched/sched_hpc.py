@@ -80,8 +80,8 @@ class HPCSchedClass(SchedClass):
             raise ValueError(f"{task!r} not queued in HPC class") from None
 
     def pick_next_task(self, rq: "RunQueue") -> Optional["Task"]:
-        q = rq.queue_for(self)
-        if not q.tasks:
+        q = rq.class_queues.get(self.name)
+        if q is None or not q.tasks:
             return None
         task = q.tasks.popleft()
         if self._rr and task.rr_slice_left <= 0.0:
@@ -89,7 +89,8 @@ class HPCSchedClass(SchedClass):
         return task
 
     def nr_queued(self, rq: "RunQueue") -> int:
-        return len(rq.queue_for(self).tasks)
+        q = rq.class_queues.get(self.name)
+        return 0 if q is None else len(q.tasks)
 
     # ------------------------------------------------------------------
     # Tick / preemption
@@ -111,7 +112,10 @@ class HPCSchedClass(SchedClass):
         return False
 
     def needs_tick(self, rq: "RunQueue", task: "Task") -> bool:
-        return self._rr and self.nr_queued(rq) > 0
+        if not self._rr:
+            return False
+        q = rq.class_queues.get(self.name)
+        return q is not None and len(q.tasks) > 0
 
     def pull_candidates(self, rq: "RunQueue") -> List["Task"]:
         # Back of the round-robin list first: least disruption.

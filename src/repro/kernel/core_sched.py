@@ -91,10 +91,11 @@ class Kernel:
         self._lbl_balance = {c: f"balance/{c}" for c in self.machine.cpu_ids}
         self.tunables.subscribe(self._refresh_tunable_cache)
 
-        from repro.power5.pmu import MachinePMU
-
-        #: Simulated performance counters (decode shares, ST time, ...).
-        self.pmu = MachinePMU(self.machine)
+        #: Simulated performance counters (decode shares, ST time, ...),
+        #: built lazily on first access: counters start at zero and the
+        #: model never reads the clock at construction, so a kernel that
+        #: is never inspected (a cluster node) skips the build entirely.
+        self._pmu: Optional[Any] = None
         #: Whether the PMU is advanced on rate changes.  Pure
         #: observability — it never feeds back into scheduling — so a
         #: multi-node driver that reads no counters (the cluster, by
@@ -107,6 +108,11 @@ class Kernel:
         self.classes: List[SchedClass] = [self.rt, self.fair, self.idle_class]
 
         self.balancer = LoadBalancer(self)
+        #: Class -> rank in the priority order, rebuilt on
+        #: register_class; _check_preempt is too hot for list.index.
+        self._class_rank: Dict[int, int] = {
+            id(c): i for i, c in enumerate(self.classes)
+        }
 
         #: Runtime invariant oracles (repro.validate.invariants); None in
         #: production so every hook site costs one attribute test.
@@ -130,6 +136,20 @@ class Kernel:
         #: the balance timer and the idle-pull path skip whole-machine
         #: scans when nothing is waiting anywhere.
         self._queued_total = 0
+        #: Optional observer fired when ``_queued_total`` transitions
+        #: 0 → 1.  The sharded cluster runner parks this kernel's
+        #: provably-inert balance timers off the event heap and uses
+        #: this edge to reinstate them the instant they could matter.
+        self.on_queued_nonempty: Optional[Any] = None
+        #: Started-and-not-exited tasks whose CPU mask permits more than
+        #: one CPU.  While zero, no load-balance pull can ever move a
+        #: task (``_steal`` requires ``task.allows_cpu(dst)`` for a
+        #: second CPU), so periodic balance rounds are provably inert.
+        self._migratable = 0
+        #: Optional observer of the ``_migratable`` 0 → 1 edge — the
+        #: second half of the sharded runner's parking soundness
+        #: argument (see ``on_queued_nonempty``).
+        self.on_migratable: Optional[Any] = None
         self.context_switches = 0
         self.migrations = 0
         self._balance_started = False
@@ -164,6 +184,15 @@ class Kernel:
             self.rqs[cpu].current = idle
             self.machine.context(cpu).idle()
 
+    @property
+    def pmu(self):
+        """Simulated performance counters (lazily constructed)."""
+        if self._pmu is None:
+            from repro.power5.pmu import MachinePMU
+
+            self._pmu = MachinePMU(self.machine)
+        return self._pmu
+
     def register_class(self, sched_class: SchedClass, before: str = "fair") -> None:
         """Insert a new scheduling class (e.g. HPCSched) before the class
         named ``before`` — the paper places HPCSched between the
@@ -176,6 +205,7 @@ class Kernel:
         except ValueError:
             raise ValueError(f"no scheduling class named {before!r}") from None
         self.classes.insert(idx, sched_class)
+        self._class_rank = {id(c): i for i, c in enumerate(self.classes)}
 
     def class_for_policy(self, policy: SchedPolicy) -> SchedClass:
         """The scheduling class serving ``policy``."""
@@ -189,7 +219,7 @@ class Kernel:
 
     def class_index(self, sched_class: SchedClass) -> int:
         """Rank of a class in the priority order (lower beats higher)."""
-        return self.classes.index(sched_class)
+        return self._class_rank[id(sched_class)]
 
     # ------------------------------------------------------------------
     # Task lifecycle
@@ -233,11 +263,17 @@ class Kernel:
             raise ValueError(f"{task!r} not allowed on cpu{cpu}")
         task.state = TaskState.READY
         task.sched_class.task_new(self.rqs[cpu], task)
-        if not getattr(task, "daemon", False):
+        if not task.daemon:
             self.live_tasks += 1
             if self.on_live_change is not None:
                 self.on_live_change(1)
-        self._trace(task, "wake", cpu=cpu)
+        mask = task.cpus_allowed
+        if mask is None or len(mask) > 1:
+            self._migratable += 1
+            if self._migratable == 1 and self.on_migratable is not None:
+                self.on_migratable()
+        if self.trace is not None:
+            self._trace(task, "wake", cpu=cpu)
         self._enqueue(task, cpu, wakeup=False)
         self._check_preempt(cpu, task)
         self._ensure_periodic_balance()
@@ -257,12 +293,16 @@ class Kernel:
         task.cancel_phase_event()
         task.state = TaskState.EXITED
         task.sched_class.task_exit(rq, task)
-        self._trace(task, "exit", cpu=cpu)
+        if self.trace is not None:
+            self._trace(task, "exit", cpu=cpu)
         rq.current = None
-        if not getattr(task, "daemon", False):
+        if not task.daemon:
             self.live_tasks -= 1
             if self.on_live_change is not None:
                 self.on_live_change(-1)
+        mask = task.cpus_allowed
+        if mask is None or len(mask) > 1:
+            self._migratable -= 1
         if task.on_exit is not None:
             task.on_exit(task)
         self.__schedule(cpu)
@@ -281,7 +321,8 @@ class Kernel:
         # The class hook runs before the task is queued so the HPC
         # detector can adjust hardware priorities for the new iteration.
         task.sched_class.on_wakeup(task)
-        self._trace(task, "wake", cpu=cpu)
+        if self.trace is not None:
+            self._trace(task, "wake", cpu=cpu)
         self._enqueue(task, cpu, wakeup=True)
         self._check_preempt(cpu, task)
         return True
@@ -319,7 +360,8 @@ class Kernel:
         task.sleep_reason = req.sleep_reason
         task.sleeping_on_wait = req.is_wait
         task.sched_class.on_block(rq, task, req.sleep_reason, req.is_wait)
-        self._trace(task, "block", cpu=cpu, reason=req.sleep_reason, wait=req.is_wait)
+        if self.trace is not None:
+            self._trace(task, "block", cpu=cpu, reason=req.sleep_reason, wait=req.is_wait)
         rq.current = None
         self.__schedule(cpu)
 
@@ -333,6 +375,8 @@ class Kernel:
         task.sched_class.enqueue_task(rq, task)
         rq.nr_queued += 1
         self._queued_total += 1
+        if self._queued_total == 1 and self.on_queued_nonempty is not None:
+            self.on_queued_nonempty()
         task.last_enqueue_time = self.sim.now
         self._update_tick(cpu)
 
@@ -368,7 +412,8 @@ class Kernel:
             task.cancel_phase_event()
             task.state = TaskState.READY
             task.sched_class.put_prev_task(rq, task)
-            self._trace(task, "preempted", cpu=src)
+            if self.trace is not None:
+                self._trace(task, "preempted", cpu=src)
             rq.current = None
             self._schedule(src)
         else:
@@ -376,14 +421,27 @@ class Kernel:
                 f"can only migrate READY or RUNNING tasks, not {task!r}"
             )
         self.migrations += 1
-        self._trace(task, "migrate", cpu=dst)
+        if self.trace is not None:
+            self._trace(task, "migrate", cpu=dst)
         self._enqueue(task, dst, wakeup=False)
         self._check_preempt(dst, task)
 
     def set_affinity(self, task: Task, cpus: Optional[set]) -> None:
         """Replace the task's CPU mask, migrating it off a now-forbidden
         CPU (queued tasks immediately, running ones at reschedule)."""
+        old = task.cpus_allowed
         task.cpus_allowed = set(cpus) if cpus is not None else None
+        if task.state not in (TaskState.NEW, TaskState.EXITED):
+            # Keep the migratable-task census exact across mask changes
+            # (started tasks were counted by start_task).
+            was = old is None or len(old) > 1
+            now = task.cpus_allowed is None or len(task.cpus_allowed) > 1
+            if now and not was:
+                self._migratable += 1
+                if self._migratable == 1 and self.on_migratable is not None:
+                    self.on_migratable()
+            elif was and not now:
+                self._migratable -= 1
         if task.cpus_allowed is None:
             return
         if task.state == TaskState.READY and task.cpu not in task.cpus_allowed:
@@ -482,8 +540,9 @@ class Kernel:
         if cur is None or cur.is_idle_task:
             self.resched(cpu)
             return
-        wi = self.class_index(woken.sched_class)
-        ci = self.class_index(cur.sched_class)
+        rank = self._class_rank
+        wi = rank[id(woken.sched_class)]
+        ci = rank[id(cur.sched_class)]
         if wi < ci:
             self.resched(cpu)
         elif wi == ci and woken.sched_class.check_preempt(rq, woken):
@@ -504,7 +563,8 @@ class Kernel:
             prev.cancel_phase_event()
             prev.state = TaskState.READY
             prev.sched_class.put_prev_task(rq, prev)
-            self._trace(prev, "preempted", cpu=cpu)
+            if self.trace is not None:
+                self._trace(prev, "preempted", cpu=cpu)
             if prev.allows_cpu(cpu):
                 self._enqueue(prev, cpu, wakeup=False)
             else:
@@ -530,13 +590,22 @@ class Kernel:
     _schedule = __schedule
 
     def _pick_next(self, rq: RunQueue) -> Task:
-        for cls in self.classes:
-            task = cls.pick_next_task(rq)
+        if rq.nr_queued == 0:
+            # ``nr_queued`` is the exact sum of the class queues (the
+            # only mutators are _enqueue/_dequeue/_pick_next and the
+            # balanced requeue), so every class is empty: fall through
+            # to the never-empty idle class directly.
+            task = self.idle_class.pick_next_task(rq)
             if task is not None:
-                if not task.is_idle_task:
-                    rq.nr_queued -= 1
-                    self._queued_total -= 1
                 return task
+        else:
+            for cls in self.classes:
+                task = cls.pick_next_task(rq)
+                if task is not None:
+                    if not task.is_idle_task:
+                        rq.nr_queued -= 1
+                        self._queued_total -= 1
+                    return task
         raise RuntimeError("scheduler found no task (idle class broken)")
 
     def _install(self, cpu: int, task: Task, cost: float) -> None:
@@ -551,14 +620,15 @@ class Kernel:
             task.cpu = cpu
             ctx.idle()
             self._rates_changed(ctx.core, skip_ctx=ctx)
-            self._trace(task, "run_idle", cpu=cpu)
+            if self.trace is not None:
+                self._trace(task, "run_idle", cpu=cpu)
             self._update_tick(cpu)
             return
 
         task.state = TaskState.RUNNING
         task.cpu = cpu
         task.exec_start = now
-        if getattr(task, "wakeup_pending", False) and task.last_enqueue_time is not None:
+        if task.wakeup_pending and task.last_enqueue_time is not None:
             self.latency_stats.record(task, now - task.last_enqueue_time)
             task.wakeup_pending = False  # type: ignore[attr-defined]
         ctx.load(task, task.hw_priority, busy=True)
@@ -566,7 +636,8 @@ class Kernel:
         # task's phase is (re)started by _start_phase below, and its
         # progress was already banked when it left the CPU.
         self._rates_changed(ctx.core, skip_ctx=ctx)
-        self._trace(task, "run", cpu=cpu)
+        if self.trace is not None:
+            self._trace(task, "run", cpu=cpu)
         if task.phase_remaining > _WORK_EPSILON:
             self._start_phase(cpu, task, delay=cost)
         else:
@@ -805,8 +876,13 @@ class Kernel:
     def _update_tick(self, cpu: int) -> None:
         rq = self.rqs[cpu]
         cur = rq.current
+        # Every class's needs_tick requires its own queue to be
+        # non-empty (RT: a queued best priority; HPC/fair: queued
+        # tasks), so an empty runqueue can never need a tick — skip
+        # the class dispatch on the common nothing-waiting path.
         needed = self._full_ticks or (
-            cur is not None
+            rq.nr_queued > 0
+            and cur is not None
             and not cur.is_idle_task
             and cur.sched_class.needs_tick(rq, cur)
         )

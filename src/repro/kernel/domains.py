@@ -16,6 +16,26 @@ from repro.power5.machine import Machine
 #: Domain levels in balancing order (innermost first).
 LEVELS: Tuple[str, ...] = ("context", "core", "chip")
 
+#: Shared hierarchies keyed by topology (see :func:`hierarchy_for`).
+_HIERARCHY_CACHE: Dict["object", "DomainHierarchy"] = {}
+
+
+def hierarchy_for(machine: Machine) -> "DomainHierarchy":
+    """A shared :class:`DomainHierarchy` for ``machine``'s topology.
+
+    CPU ids are machine-local (every machine of a given topology numbers
+    them 0..n identically) and the hierarchy is immutable after
+    construction, so machines with equal topology can share one
+    instance — a cluster constructing hundreds of identical nodes pays
+    the domain build once.
+    """
+    key = machine.topology
+    h = _HIERARCHY_CACHE.get(key)
+    if h is None:
+        h = DomainHierarchy(machine)
+        _HIERARCHY_CACHE[key] = h
+    return h
+
 
 @dataclass(frozen=True)
 class Domain:

@@ -104,7 +104,9 @@ class FairClass(SchedClass):
         rq.queue_for(self).remove(task)
 
     def pick_next_task(self, rq: "RunQueue") -> Optional["Task"]:
-        q = rq.queue_for(self)
+        q = rq.class_queues.get(self.name)
+        if q is None:
+            return None
         node = q.tree.pop_min()
         if node is None:
             return None
@@ -114,7 +116,8 @@ class FairClass(SchedClass):
         return task
 
     def nr_queued(self, rq: "RunQueue") -> int:
-        return len(rq.queue_for(self).tree)
+        q = rq.class_queues.get(self.name)
+        return 0 if q is None else len(q.tree)
 
     # ------------------------------------------------------------------
     # Accounting & preemption

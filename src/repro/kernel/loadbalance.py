@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from repro.kernel.domains import DomainHierarchy
+from repro.kernel.domains import hierarchy_for
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.core_sched import Kernel
@@ -24,7 +24,7 @@ class LoadBalancer:
 
     def __init__(self, kernel: "Kernel") -> None:
         self.kernel = kernel
-        self.hierarchy = DomainHierarchy(kernel.machine)
+        self.hierarchy = hierarchy_for(kernel.machine)
 
     # ------------------------------------------------------------------
     # CPU selection for new / woken tasks

@@ -132,7 +132,7 @@ class RTClass(SchedClass):
         return best is not None and best >= task.rt_priority
 
     def put_prev_task(self, rq: "RunQueue", task: "Task") -> None:
-        yielded = getattr(task, "_sched_yield", False)
+        yielded = task._sched_yield
         task._sched_yield = False  # type: ignore[attr-defined]
         if yielded:
             return  # sched_yield: go to the tail of the priority list

@@ -74,6 +74,12 @@ class Task:
 
         # -- wakeup / latency -----------------------------------------
         self.last_enqueue_time: Optional[float] = None
+        #: Set between a wakeup and the next install (latency tracking).
+        self.wakeup_pending = False
+        #: Excluded from the live-task stop condition when True.
+        self.daemon = False
+        #: sched_yield marker consumed by RT put_prev_task.
+        self._sched_yield = False
         self.sleep_reason: Optional[str] = None
         #: Set when the task blocked on an MPI wait (iteration boundary
         #: marker for the HPC load-imbalance detector).

@@ -36,11 +36,40 @@ class Tunables:
     flexible as sysfs while reads cost one attribute load.
     """
 
+    #: Default entries shared copy-on-write across instances: almost no
+    #: kernel ever *writes* a tunable, so cluster-scale construction
+    #: (hundreds of kernels) reuses one frozen default table and only a
+    #: first write pays for a private copy.
+    _proto_entries: Optional[Dict[str, _Entry]] = None
+
     def __init__(self) -> None:
-        self._entries: Dict[str, _Entry] = {}
-        #: Cache-invalidation hooks, fired after every write.
         self._subscribers: List[Callable[[], None]] = []
-        self._register_defaults()
+        if type(self) is Tunables:
+            if Tunables._proto_entries is None:
+                self._entries: Dict[str, _Entry] = {}
+                self._owns_entries = True
+                self._register_defaults()
+                Tunables._proto_entries = {
+                    path: _Entry(e.value, e.kind, e.validate, e.doc)
+                    for path, e in self._entries.items()
+                }
+            else:
+                self._entries = Tunables._proto_entries
+                self._owns_entries = False
+        else:
+            # Subclasses may override _register_defaults; never share.
+            self._entries = {}
+            self._owns_entries = True
+            self._register_defaults()
+
+    def _own_entries(self) -> None:
+        """Detach from the shared default table before any write."""
+        if not self._owns_entries:
+            self._entries = {
+                path: _Entry(e.value, e.kind, e.validate, e.doc)
+                for path, e in self._entries.items()
+            }
+            self._owns_entries = True
 
     def subscribe(self, callback: Callable[[], None]) -> None:
         """Register a zero-argument hook invoked after every successful
@@ -62,6 +91,7 @@ class Tunables:
         doc: str = "",
     ) -> None:
         """Declare a tunable with its default value."""
+        self._own_entries()
         self._entries[path] = _Entry(default, kind or type(default), validate, doc)
         if self._subscribers:
             self._notify()
@@ -88,6 +118,9 @@ class Tunables:
             )
         if entry.validate is not None and not entry.validate(value):
             raise TunableError(f"value {value!r} rejected for tunable {path!r}")
+        if not self._owns_entries:
+            self._own_entries()
+            entry = self._entries[path]
         entry.value = value
         self._notify()
 

@@ -18,6 +18,20 @@ class LatencyModel:
     base: float = 5e-6
     bandwidth: float = 1e9  # bytes/second
 
+    def __post_init__(self) -> None:
+        # A non-positive base silently breaks the sharded runner's PDES
+        # lookahead (and yields zero/negative delays nothing else
+        # diagnoses), so reject degenerate models at construction.
+        if not self.base > 0.0:
+            raise ValueError(
+                f"LatencyModel.base must be positive, got {self.base!r}"
+            )
+        if not self.bandwidth > 0.0:
+            raise ValueError(
+                f"LatencyModel.bandwidth must be positive, "
+                f"got {self.bandwidth!r}"
+            )
+
     def delay(self, size: int) -> float:
         """Delivery time for a ``size``-byte message."""
         return self.base + (size / self.bandwidth if size > 0 else 0.0)

@@ -60,6 +60,14 @@ class Machine:
         for chip in self.chips:
             for ctx in chip.contexts:
                 self._contexts[ctx.cpu_id] = ctx
+        # Topology is immutable after construction; precompute the
+        # orderings that hot paths (wake placement, balancing, kernel
+        # construction) would otherwise re-derive per call.
+        self._cpu_ids: tuple = tuple(sorted(self._contexts))
+        self._cores: List[SMTCore] = [
+            core for chip in self.chips for core in chip.cores
+        ]
+        self._domains: Optional[Dict[str, List[List[int]]]] = None
 
     # ------------------------------------------------------------------
     # Lookup helpers
@@ -70,7 +78,7 @@ class Machine:
 
     @property
     def cpu_ids(self) -> Sequence[int]:
-        return sorted(self._contexts)
+        return self._cpu_ids
 
     def context(self, cpu_id: int) -> SMTContext:
         """The hardware context behind logical CPU ``cpu_id``."""
@@ -86,7 +94,7 @@ class Machine:
 
     def cores(self) -> List[SMTCore]:
         """All physical cores, across chips, in id order."""
-        return [core for chip in self.chips for core in chip.cores]
+        return self._cores
 
     # ------------------------------------------------------------------
     # Scheduling domains
@@ -97,8 +105,11 @@ class Machine:
         Each level maps to a list of *groups*; balancing a level means
         equalizing runnable-task counts across the groups of that level
         (paper §IV-A: "our workload balancer tries to balance the number
-        of tasks at each domain level").
+        of tasks at each domain level").  Memoized: the topology is
+        frozen at construction.
         """
+        if self._domains is not None:
+            return self._domains
         context_level = [
             [ctx.cpu_id for ctx in core.contexts] for core in self.cores()
         ]
@@ -106,12 +117,13 @@ class Machine:
             [ctx.cpu_id for core in chip.cores for ctx in core.contexts]
             for chip in self.chips
         ]
-        chip_level = [sorted(self._contexts)]
-        return {
+        chip_level = [list(self._cpu_ids)]
+        self._domains = {
             "context": context_level,
             "core": core_level,
             "chip": chip_level,
         }
+        return self._domains
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         t = self.topology

@@ -176,7 +176,30 @@ class PerformanceModel(ABC):
 class TableDrivenModel(PerformanceModel):
     """Calibrated lookup on the priority difference (primary model)."""
 
+    def __init__(self) -> None:
+        # The model is a pure function of (profile, priorities, busy);
+        # memoize per profile *identity* — the pinned reference list
+        # keeps every keyed profile alive so an id cannot be recycled.
+        self._memo: dict = {}
+        self._memo_pins: list = []
+
     def speed(
+        self,
+        profile: PerfProfile,
+        own_priority: int,
+        sibling_priority: int,
+        sibling_busy: bool,
+    ) -> float:
+        key = (id(profile), own_priority, sibling_priority, sibling_busy)
+        hit = self._memo.get(key)
+        if hit is not None:
+            return hit
+        v = self._speed(profile, own_priority, sibling_priority, sibling_busy)
+        self._memo[key] = v
+        self._memo_pins.append(profile)
+        return v
+
+    def _speed(
         self,
         profile: PerfProfile,
         own_priority: int,

@@ -85,6 +85,8 @@ DEFAULT_PRIORITY = HWPriority.MEDIUM
 
 def coerce_priority(value: int) -> HWPriority:
     """Validate and convert an integer to :class:`HWPriority`."""
+    if type(value) is HWPriority:
+        return value  # hot path: already coerced (context switches)
     try:
         return HWPriority(value)
     except ValueError as exc:

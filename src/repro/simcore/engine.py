@@ -65,6 +65,13 @@ class Simulator:
     def _run_deferred(self) -> None:
         deferred = self._deferred
         while deferred:
+            if len(deferred) == 1:
+                # Common case (one dirty-core drain per event): skip
+                # the defensive snapshot copy.
+                fn = deferred[0]
+                deferred.clear()
+                fn()
+                continue
             pending = deferred[:]
             deferred.clear()
             for fn in pending:
@@ -143,6 +150,7 @@ class Simulator:
         self,
         until: Optional[float] = None,
         stop_when: Optional[Callable[[], bool]] = None,
+        until_exclusive: bool = False,
     ) -> float:
         """Drain the event queue.
 
@@ -154,6 +162,14 @@ class Simulator:
         stop_when:
             Optional predicate evaluated after every event; the run stops
             as soon as it returns ``True``.
+        until_exclusive:
+            When true, events at exactly ``until`` also stay queued (the
+            horizon is the half-open interval ``[now, until)``).  The
+            sharded cluster runner depends on this: a cross-shard message
+            landing exactly on a window boundary must be injected before
+            the boundary instant is executed, so the window must not
+            consume any event at its own horizon.  The clock still
+            advances to ``until``.
 
         Returns the simulated time at which the run stopped.
         """
@@ -217,7 +233,9 @@ class Simulator:
                         break
                     entry = heap[0]
                     t = entry[0]
-                    if until is not None and t > until:
+                    if until is not None and (
+                        t > until or (until_exclusive and t >= until)
+                    ):
                         if until > self.now:
                             self.now = until
                         break

@@ -36,6 +36,12 @@ from repro.validate.invariants import (
     validation_enabled,
 )
 from repro.validate.reference import ReferenceSimulator
+from repro.validate.sharded_parity import (
+    ParityCase,
+    ParityReport,
+    check_parity,
+    run_parity_suite,
+)
 from repro.validate.scenario import (
     BarrierOp,
     ComputeOp,
@@ -52,14 +58,18 @@ __all__ = [
     "Divergence",
     "FuzzReport",
     "InvariantViolation",
+    "ParityCase",
+    "ParityReport",
     "ReferenceSimulator",
     "Scenario",
     "SetPrioOp",
     "SleepOp",
     "TaskSpec",
+    "check_parity",
     "generate_scenario",
     "run_differential",
     "run_fuzz",
+    "run_parity_suite",
     "shrink",
     "validation_enabled",
 ]

@@ -1,0 +1,197 @@
+"""Serial-vs-sharded parity oracle (conservative PDES correctness).
+
+The sharded cluster runner (:mod:`repro.cluster.sharded`) promises that
+partitioning a cluster over K shard simulators is *unobservable*: every
+rank finishes at the bit-identical simulated instant the single-process
+run produces, and the MPI runtime delivers the bit-identical message
+set.  This module checks that promise directly: run the same workload
+through :func:`repro.cluster.experiment.run_cluster` and
+:func:`~repro.cluster.experiment.run_cluster_sharded` and compare
+
+* per-rank completion times (``rank_exit``) — ``==`` on floats, no
+  tolerance: conservative PDES with lookahead windows must not perturb
+  the schedule at all;
+* the MPI message counters (sent/delivered);
+* the reported makespan (``exec_time``).
+
+Two entry points: :func:`check_parity` for one configuration, and
+:func:`run_parity_suite` for the fixed paper configurations
+(``cluster_metbench_16`` / ``cluster_metbench_64``, block and gang)
+plus ``fuzz`` randomized cluster scenarios (node counts, shard counts,
+iteration counts, perturbed load ladders) from a seeded generator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+
+@dataclass
+class ParityCase:
+    """One serial-vs-sharded comparison."""
+
+    label: str
+    strategy: str
+    n_nodes: int
+    shards: int
+    iterations: int
+    ok: bool
+    mismatches: List[str] = field(default_factory=list)
+    events_serial: int = 0
+    events_sharded: int = 0
+    windows: int = 0
+
+
+@dataclass
+class ParityReport:
+    """All cases of one ``sharded-parity`` run."""
+
+    cases: List[ParityCase] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(case.ok for case in self.cases)
+
+    @property
+    def failures(self) -> int:
+        return sum(1 for case in self.cases if not case.ok)
+
+    def summary(self) -> str:
+        """One-line verdict for CLI/CI output."""
+        verdict = "OK" if self.ok else "PARITY BROKEN"
+        return (
+            f"sharded-parity: {len(self.cases) - self.failures}/"
+            f"{len(self.cases)} cases bit-identical — {verdict}"
+        )
+
+
+def check_parity(
+    strategy: str = "block",
+    n_nodes: int = 16,
+    shards: int = 4,
+    iterations: int = 2,
+    loads: Optional[Sequence[float]] = None,
+    use_hpc: bool = True,
+    label: Optional[str] = None,
+) -> ParityCase:
+    """Compare one serial run against its sharded twin bit-for-bit."""
+    from repro.cluster.experiment import (
+        ladder_loads,
+        run_cluster,
+        run_cluster_sharded,
+    )
+
+    loads = list(loads if loads is not None else ladder_loads(4 * n_nodes))
+    kwargs = dict(
+        loads=loads, iterations=iterations, n_nodes=n_nodes, use_hpc=use_hpc
+    )
+    serial = run_cluster(strategy, **kwargs)
+    sharded = run_cluster_sharded(
+        strategy, shards=shards, workers="inline", **kwargs
+    )
+
+    mismatches: List[str] = []
+    if serial.rank_exit != sharded.rank_exit:
+        diverging = [
+            rank
+            for rank in sorted(serial.rank_exit)
+            if serial.rank_exit[rank] != sharded.rank_exit.get(rank)
+        ]
+        mismatches.append(
+            f"rank_exit differs for {len(diverging)} rank(s), first "
+            f"rank {diverging[0] if diverging else '?'}: serial "
+            f"{serial.rank_exit.get(diverging[0]) if diverging else '?'} "
+            f"vs sharded "
+            f"{sharded.rank_exit.get(diverging[0]) if diverging else '?'}"
+        )
+    if serial.exec_time != sharded.exec_time:
+        mismatches.append(
+            f"exec_time {serial.exec_time!r} != {sharded.exec_time!r}"
+        )
+    if serial.messages_sent != sharded.messages_sent:
+        mismatches.append(
+            f"messages_sent {serial.messages_sent} != "
+            f"{sharded.messages_sent}"
+        )
+    if serial.messages_delivered != sharded.messages_delivered:
+        mismatches.append(
+            f"messages_delivered {serial.messages_delivered} != "
+            f"{sharded.messages_delivered}"
+        )
+    return ParityCase(
+        label=label or f"{strategy}/{n_nodes}n/{shards}s",
+        strategy=strategy,
+        n_nodes=n_nodes,
+        shards=shards,
+        iterations=iterations,
+        ok=not mismatches,
+        mismatches=mismatches,
+        events_serial=serial.events,
+        events_sharded=sharded.events,
+        windows=sharded.windows,
+    )
+
+
+def _fuzz_configs(count: int, seed: int):
+    """Seeded random cluster configurations: node/shard/iteration counts
+    and a perturbed load ladder (heavier noise than the paper ladder, so
+    phase completions land on irregular instants)."""
+    from repro.cluster.experiment import ladder_loads
+
+    rng = random.Random(seed)
+    for index in range(count):
+        n_nodes = rng.choice([2, 3, 4, 6, 8])
+        shards = rng.randint(1, max(1, n_nodes))
+        iterations = rng.randint(1, 3)
+        strategy = rng.choice(["block", "gang"])
+        use_hpc = rng.random() < 0.8
+        loads = [
+            load * rng.uniform(0.7, 1.3)
+            for load in ladder_loads(4 * n_nodes)
+        ]
+        yield dict(
+            label=f"fuzz{index}/{strategy}/{n_nodes}n/{shards}s",
+            strategy=strategy,
+            n_nodes=n_nodes,
+            shards=shards,
+            iterations=iterations,
+            loads=loads,
+            use_hpc=use_hpc,
+        )
+
+
+def run_parity_suite(
+    fuzz: int = 10,
+    seed: int = 0,
+    include_fixed: bool = True,
+    nodes_fixed: Sequence[int] = (16, 64),
+    shards_fixed: Optional[int] = None,
+    on_case: Optional[Callable[[ParityCase], None]] = None,
+) -> ParityReport:
+    """The full ``sharded-parity`` check: the paper's fixed
+    ``cluster_metbench`` configurations under both placements plus
+    ``fuzz`` randomized cluster scenarios."""
+    report = ParityReport()
+
+    def run(**kwargs) -> None:
+        case = check_parity(**kwargs)
+        report.cases.append(case)
+        if on_case is not None:
+            on_case(case)
+
+    if include_fixed:
+        for n_nodes in nodes_fixed:
+            for strategy in ("block", "gang"):
+                shards = shards_fixed or (8 if n_nodes >= 8 else 2)
+                run(
+                    strategy=strategy,
+                    n_nodes=n_nodes,
+                    shards=shards,
+                    iterations=2,
+                    label=f"metbench/{strategy}/{n_nodes}n",
+                )
+    for config in _fuzz_configs(fuzz, seed):
+        run(**config)
+    return report

@@ -8,9 +8,11 @@ import pytest
 from repro.bench import harness
 from repro.bench.scenarios import (
     cluster_metbench,
+    cluster_metbench_sharded,
     event_storm_chain,
     event_storm_deep,
     event_storm_wide,
+    event_storm_wide_sharded,
 )
 from repro.cli import main
 
@@ -38,6 +40,18 @@ def test_storm_wide_deterministic_event_count():
 
 def test_cluster_metbench_runs_both_placements():
     assert cluster_metbench(n_nodes=2, iterations=1) > 0
+
+
+def test_cluster_metbench_sharded_elides_events():
+    serial = cluster_metbench(n_nodes=4, iterations=1)
+    sharded = cluster_metbench_sharded(n_nodes=4, iterations=1, shards=2)
+    assert 0 < sharded < serial  # parked balance timers never fire
+
+
+def test_event_storm_wide_sharded_deterministic():
+    first = event_storm_wide_sharded(chains=16, n_nodes=2, shards=2)
+    assert first > 0
+    assert event_storm_wide_sharded(chains=16, n_nodes=2, shards=2) == first
 
 
 # ----------------------------------------------------------------------
@@ -92,6 +106,47 @@ def test_report_dict_is_schema_versioned(tiny_report):
     assert data["benchmarks"]["event_storm_chain"]["params"] == {"events": 2_000}
     # peak RSS is recorded on POSIX platforms
     assert data["peak_rss_kb"] is None or data["peak_rss_kb"] > 0
+    # measurement-context metadata (jobs/CPU count) is always recorded
+    assert data["jobs"] == 1
+    assert data["host_cpus"] >= 1
+
+
+def test_sharded_scenarios_carry_worker_params():
+    report = harness.run_suite(
+        quick=True,
+        rounds=1,
+        storm_events=2_000,
+        scenarios=["event_storm_wide_sharded", "cluster_metbench_64_sharded"],
+    )
+    for rec in report.records.values():
+        assert rec.params["shards"] == harness.DEFAULT_SHARDS
+        assert rec.params["workers"] == harness.DEFAULT_SHARD_WORKERS
+
+
+def test_run_suite_parallel_jobs_matches_serial_structure():
+    scenarios = ["event_storm_chain", "event_storm_deep"]
+    serial = harness.run_suite(
+        quick=True, rounds=1, storm_events=2_000, scenarios=scenarios
+    )
+    parallel = harness.run_suite(
+        quick=True, rounds=1, storm_events=2_000, scenarios=scenarios, jobs=2
+    )
+    assert list(parallel.records) == list(serial.records)  # plan order kept
+    assert parallel.jobs == 2
+    for name in scenarios:
+        assert parallel.records[name].events == serial.records[name].events
+        assert parallel.records[name].params == serial.records[name].params
+
+
+def test_context_warnings_flag_jobs_and_cpu_mismatch():
+    cur = {"jobs": 2, "host_cpus": 4, "benchmarks": {}}
+    base = {"jobs": 1, "host_cpus": 8, "benchmarks": {}}
+    warnings = harness.context_warnings(cur, base)
+    assert len(warnings) == 2
+    assert any("jobs" in w for w in warnings)
+    assert any("CPU count" in w for w in warnings)
+    # pre-metadata reports (no fields) never warn against each other
+    assert harness.context_warnings({"benchmarks": {}}, {"benchmarks": {}}) == []
 
 
 def test_write_and_load_roundtrip(tiny_report, tmp_path):
@@ -249,6 +304,23 @@ def test_cli_bench_scenario_filter(tmp_path, capsys):
     assert code == 0
     data = harness.load_report(tmp_path / "BENCH_one.json")
     assert set(data["benchmarks"]) == {"event_storm_chain"}
+
+
+def test_cli_bench_jobs_mismatch_warns_against_baseline(tmp_path, capsys):
+    code, _ = _cli_bench(
+        tmp_path, capsys, "--label", "serial1",
+        "--scenario", "event_storm_chain",
+    )
+    assert code == 0
+    code, captured = _cli_bench(
+        tmp_path, capsys, "--label", "par",
+        "--scenario", "event_storm_chain", "--jobs", "2",
+    )
+    assert code == 0
+    assert "WARNING" in captured.out and "jobs" in captured.out
+    data = harness.load_report(tmp_path / "BENCH_par.json")
+    assert data["jobs"] == 2
+    assert data["vs_baseline"]["warnings"]
 
 
 def test_cli_bench_unknown_scenario_errors(tmp_path, capsys):

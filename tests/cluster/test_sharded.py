@@ -1,0 +1,264 @@
+"""Sharded PDES cluster runner: parity, determinism edges, planning,
+validation, and the ``--shards`` / ``--json`` CLI paths."""
+
+import json
+
+import pytest
+
+from repro.cluster import Cluster, InterconnectModel
+from repro.cluster.experiment import (
+    ladder_loads,
+    run_cluster,
+    run_cluster_sharded,
+)
+from repro.cluster.gang import block_placement
+from repro.cluster.sharded import plan_shards, run_sharded
+from repro.cli import main
+from repro.mpi.messages import LatencyModel
+from repro.mpi.process import MPIRank
+from repro.simcore.engine import Simulator
+from repro.validate import run_parity_suite
+
+
+# ----------------------------------------------------------------------
+# Parity: the tentpole invariant
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("strategy", ["block", "gang"])
+def test_parity_small_cluster_bit_identical(strategy):
+    kwargs = dict(loads=ladder_loads(16), iterations=2, n_nodes=4)
+    serial = run_cluster(strategy, **kwargs)
+    sharded = run_cluster_sharded(strategy, shards=2, workers="inline", **kwargs)
+    assert sharded.rank_exit == serial.rank_exit
+    assert sharded.exec_time == serial.exec_time
+    assert sharded.messages_sent == serial.messages_sent
+    assert sharded.messages_delivered == serial.messages_delivered
+    assert sharded.shards == 2
+    assert sharded.windows > 0
+
+
+def test_parity_without_hpcsched():
+    kwargs = dict(loads=ladder_loads(8), iterations=1, n_nodes=2, use_hpc=False)
+    serial = run_cluster("block", **kwargs)
+    sharded = run_cluster_sharded("block", shards=2, workers="inline", **kwargs)
+    assert sharded.rank_exit == serial.rank_exit
+
+
+def test_one_shard_is_byte_identical_to_serial():
+    """K=1 takes the direct path: not just the same completion times but
+    the exact same event stream (no window machinery, no elision)."""
+    kwargs = dict(loads=ladder_loads(8), iterations=2, n_nodes=2)
+    serial = run_cluster("block", **kwargs)
+    sharded = run_cluster_sharded("block", shards=1, workers="inline", **kwargs)
+    assert sharded.rank_exit == serial.rank_exit
+    assert sharded.events == serial.events
+    assert sharded.windows == 0
+
+
+def test_sharded_run_is_deterministic():
+    kwargs = dict(loads=ladder_loads(16), iterations=2, n_nodes=4)
+    first = run_cluster_sharded("gang", shards=3, workers="inline", **kwargs)
+    second = run_cluster_sharded("gang", shards=3, workers="inline", **kwargs)
+    assert first.rank_exit == second.rank_exit
+    assert first.events == second.events
+    assert first.windows == second.windows
+
+
+# ----------------------------------------------------------------------
+# Determinism edges
+# ----------------------------------------------------------------------
+def _quiet(load):
+    def factory(mpi: MPIRank):
+        def prog():
+            yield mpi.compute(load)
+
+        return prog()
+
+    return factory
+
+
+def test_simultaneous_identical_timestamp_cross_shard_sends():
+    """Two senders in shard 0 with equal loads emit cross-shard sends at
+    the bit-identical simulated instant; the coordinator's
+    (send_time, src, seq) ordering must reproduce the serial heap order
+    exactly."""
+    cpn = 4
+    n_nodes = 4
+    placement = block_placement(16, n_nodes, cpn)
+
+    def sender(dst):
+        def factory(mpi: MPIRank):
+            def prog():
+                yield mpi.compute(0.5)  # identical load for both senders
+                yield mpi.send(dst, tag=7)
+
+            return prog()
+
+        return factory
+
+    def receiver(src):
+        def factory(mpi: MPIRank):
+            def prog():
+                yield mpi.recv(src, tag=7)
+                yield mpi.compute(0.1)
+
+            return prog()
+
+        return factory
+
+    # Ranks 0/1 live on node 0 (shard 0); ranks 8/9 on node 2 (shard 1).
+    programs = [_quiet(0.01) for _ in range(16)]
+    programs[0] = sender(8)
+    programs[1] = sender(9)
+    programs[8] = receiver(0)
+    programs[9] = receiver(1)
+
+    serial = Cluster(n_nodes=n_nodes, heuristic_factory=None)
+    serial.launch(programs, placement)
+    serial.run()
+
+    sharded = run_sharded(
+        n_nodes=n_nodes,
+        programs=programs,
+        placement=placement,
+        heuristic_factory=None,
+        shards=2,
+        workers="inline",
+    )
+    assert sharded.rank_exit == serial.rank_exit
+    assert sharded.messages_delivered == serial.runtime.messages_delivered
+
+
+def test_event_exactly_on_window_boundary_stays_queued():
+    """The window horizon is half-open: an event at exactly ``until``
+    must not run inside the window (a cross-shard message landing on the
+    boundary instant has to be injected first), but the clock still
+    advances to the horizon."""
+    fired = []
+    sim = Simulator()
+    sim.at(1.0, lambda: fired.append("boundary"))
+    sim.run(until=1.0, until_exclusive=True)
+    assert fired == []
+    assert sim.now == 1.0
+    # The inclusive default (serial semantics) consumes it.
+    sim.run(until=1.0)
+    assert fired == ["boundary"]
+
+
+def test_parity_with_barrier_on_equal_loads():
+    """All ranks hit every barrier at the bit-identical instant (equal
+    loads): maximal simultaneous-arrival stress across shards."""
+    loads = [1.0] * 16
+    kwargs = dict(loads=loads, iterations=2, n_nodes=4)
+    serial = run_cluster("block", **kwargs)
+    sharded = run_cluster_sharded("block", shards=4, workers="inline", **kwargs)
+    assert sharded.rank_exit == serial.rank_exit
+
+
+# ----------------------------------------------------------------------
+# Shard planning
+# ----------------------------------------------------------------------
+def test_plan_shards_contiguous_and_balanced():
+    plan = plan_shards(10, 4)
+    nodes = [n for s in range(plan.n_shards) for n in plan.nodes_of(s)]
+    assert sorted(nodes) == list(range(10))
+    sizes = [len(plan.nodes_of(s)) for s in range(plan.n_shards)]
+    assert max(sizes) - min(sizes) <= 1
+    for s in range(plan.n_shards):
+        block = plan.nodes_of(s)
+        assert list(block) == list(range(block[0], block[0] + len(block)))
+
+
+def test_plan_shards_clamps_to_node_count():
+    plan = plan_shards(3, 8)
+    assert plan.n_shards == 3
+
+
+def test_plan_shards_rejects_degenerate_inputs():
+    with pytest.raises(ValueError):
+        plan_shards(0, 2)
+    with pytest.raises(ValueError):
+        plan_shards(4, 0)
+
+
+# ----------------------------------------------------------------------
+# Construction validation (satellite: reject degenerate models)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("base", [0.0, -1e-6])
+def test_latency_model_rejects_nonpositive_base(base):
+    with pytest.raises(ValueError, match="base"):
+        LatencyModel(base=base)
+
+
+@pytest.mark.parametrize("bandwidth", [0.0, -1.0])
+def test_latency_model_rejects_nonpositive_bandwidth(bandwidth):
+    with pytest.raises(ValueError, match="bandwidth"):
+        LatencyModel(bandwidth=bandwidth)
+
+
+def test_interconnect_model_rejects_smuggled_degenerate_models():
+    class Fake:
+        base = 0.0
+        bandwidth = 1e9
+
+    with pytest.raises(ValueError, match="inter"):
+        InterconnectModel(inter=Fake())
+
+
+def test_interconnect_model_default_is_valid():
+    model = InterconnectModel()
+    assert model.inter.base > 0
+    assert model.intra.delay(0) > 0
+
+
+# ----------------------------------------------------------------------
+# Parity suite API
+# ----------------------------------------------------------------------
+def test_parity_suite_fuzz_smoke():
+    report = run_parity_suite(fuzz=3, seed=1, include_fixed=False)
+    assert len(report.cases) == 3
+    assert report.ok, [c.mismatches for c in report.cases]
+    assert "OK" in report.summary()
+
+
+# ----------------------------------------------------------------------
+# CLI: --shards / --json
+# ----------------------------------------------------------------------
+def test_cli_cluster_sharded_json(capsys):
+    code = main(
+        [
+            "cluster", "--nodes", "4", "--iterations", "1",
+            "--shards", "2", "--json",
+        ]
+    )
+    assert code == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["shards"] == 2
+    assert data["workers"] in ("inline", "process")
+    assert set(data["placements"]) == {"block", "gang"}
+    for entry in data["placements"].values():
+        assert entry["exec_time"] > 0
+        assert len(entry["rank_exit"]) == 16
+    assert data["gang_speedup_over_block"] > 0
+
+
+def test_cli_cluster_serial_json_matches_sharded_exits(capsys):
+    args = ["cluster", "--nodes", "2", "--iterations", "1", "--json"]
+    assert main(args) == 0
+    serial = json.loads(capsys.readouterr().out)
+    assert main(args + ["--shards", "2"]) == 0
+    sharded = json.loads(capsys.readouterr().out)
+    for strategy in ("block", "gang"):
+        assert (
+            serial["placements"][strategy]["rank_exit"]
+            == sharded["placements"][strategy]["rank_exit"]
+        )
+
+
+def test_cli_validate_sharded_parity_quick(capsys):
+    code = main(
+        ["validate", "--sharded-parity", "--quick", "--fuzz", "2", "--seed", "3"]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "sharded-parity" in captured.out
+    assert "OK" in captured.out
