@@ -1,0 +1,91 @@
+"""Service throughput: ``repro.serve`` end to end, cold and warm.
+
+A 32-job single-tenant batch (table1 at 32 seeds) is pushed through a
+full service lifecycle — boot, admission, journal, fair-share dispatch,
+drain — three ways:
+
+1. cold cache, 1 worker slot,
+2. cold cache, 4 worker slots (fresh root),
+3. warm: a second tenant resubmits the identical batch on the same
+   root, so every job must complete from the shared content-addressed
+   cache without a single execution.
+
+Thread workers keep the measurement about service overhead rather than
+process fork cost, and the virtual clock (``manual_clock``) keeps
+epoch timing out of the wall time entirely.  No wall-clock speedup is
+asserted — the per-job work (table1) is light and the host may be a
+single CPU — only correctness: determinism across worker counts and a
+100% cache-hit warm pass.
+"""
+
+import asyncio
+import time
+
+from repro.campaign.spec import RunSpec
+from repro.serve.service import CampaignService
+from repro.serve.state import ServeConfig
+
+JOBS = 32
+
+
+def _run_pass(root, tenant, workers):
+    """One boot→submit→drain→stop lifecycle; returns (records, metrics)."""
+
+    async def scenario():
+        service = CampaignService(
+            ServeConfig(
+                root=str(root),
+                port=0,
+                workers=workers,
+                worker_mode="thread",
+                manual_clock=True,
+                epoch_interval=None,
+            )
+        )
+        await service.start()
+        specs = [(RunSpec(experiment="table1", seed=s), "") for s in range(JOBS)]
+        accepted, rejection = service.submit(tenant, specs)
+        assert rejection is None and len(accepted) == JOBS
+        assert await service.drain(timeout=600.0)
+        records = [
+            service.queue.get(job.job_id).to_public(with_result=True)
+            for job in accepted
+        ]
+        metrics = service.metrics()
+        await service.stop()
+        return records, metrics
+
+    return asyncio.run(scenario())
+
+
+def test_serve_throughput_cold_and_warm(bench_once, tmp_path):
+    t0 = time.perf_counter()
+    cold1, _ = _run_pass(tmp_path / "w1", "bench", workers=1)
+    t_cold1 = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    cold4, _ = bench_once(_run_pass, tmp_path / "w4", "bench", workers=4)
+    t_cold4 = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm, metrics = _run_pass(tmp_path / "w4", "warm", workers=4)
+    t_warm = time.perf_counter() - t0
+
+    print(
+        f"\ncold(1w) {t_cold1:.3f}s ({JOBS / t_cold1:,.0f} jobs/s) | "
+        f"cold(4w) {t_cold4:.3f}s ({JOBS / t_cold4:,.0f} jobs/s) | "
+        f"warm {t_warm:.3f}s ({JOBS / t_warm:,.0f} jobs/s)"
+    )
+
+    for records in (cold1, cold4, warm):
+        assert [rec["state"] for rec in records] == ["OK"] * JOBS
+
+    # Determinism across worker counts and roots: same spec, same bytes.
+    assert [r["result"] for r in cold1] == [r["result"] for r in cold4]
+    assert [r["result"] for r in warm] == [r["result"] for r in cold4]
+
+    # The warm tenant never executed anything: 32/32 cache hits.
+    assert all(rec["cache_hit"] for rec in warm)
+    assert all(rec["executions"] == 0 for rec in warm)
+    assert metrics["cache"]["hits"] == JOBS
+    assert metrics["states"] == {"OK": 2 * JOBS}

@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.scenarios import (
+    DEFAULT_SERVE_JOBS,
     DEFAULT_STORM_CHAINS,
     DEFAULT_STORM_EVENTS,
     DEFAULT_WIDE_CHAINS,
@@ -46,6 +47,8 @@ from repro.bench.scenarios import (
     event_storm_deep,
     event_storm_wide,
     event_storm_wide_sharded,
+    serve_throughput,
+    serve_throughput_warm,
 )
 
 #: Bump on any incompatible change to the report layout.  (Additive
@@ -74,6 +77,9 @@ SCENARIO_NAMES = (
     "cluster_metbench_16",
     "cluster_metbench_64",
     "cluster_metbench_64_sharded",
+    "serve_throughput_1w",
+    "serve_throughput_4w",
+    "serve_throughput_warm",
 )
 
 
@@ -265,6 +271,19 @@ def _entry_spec(
             lambda: cluster_metbench(n_nodes=nodes, iterations=2),
             {"nodes": nodes, "iterations": 2, "placements": "block+gang"},
         )
+    if name.startswith("serve_throughput"):
+        if name == "serve_throughput_warm":
+            # The factory does the cold cache fill here, outside the
+            # measured rounds; the returned callable is all-cache-hit.
+            return (
+                serve_throughput_warm(DEFAULT_SERVE_JOBS, workers=1),
+                {"jobs": DEFAULT_SERVE_JOBS, "workers": 1, "cache": "warm"},
+            )
+        workers = int(name[len("serve_throughput_"):-1])
+        return (
+            lambda: serve_throughput(DEFAULT_SERVE_JOBS, workers=workers),
+            {"jobs": DEFAULT_SERVE_JOBS, "workers": workers, "cache": "cold"},
+        )
     raise ValueError(f"unknown benchmark {name!r}")
 
 
@@ -283,7 +302,7 @@ def _plan(
     """The ordered ``(name, rounds)`` schedule of one suite run.
 
     Storms use the full round count; experiment entries use 1 (quick) or
-    2 rounds; cluster scenarios cap at 2 rounds.  Quick mode trims the
+    2 rounds; cluster and service scenarios cap at 2 rounds.  Quick mode trims the
     experiment suite to ``metbench_uniform`` exactly as before.  Cluster
     scenario parameters are identical in quick and full mode, so their
     numbers stay comparable across modes.
@@ -310,6 +329,13 @@ def _plan(
         "cluster_metbench_16",
         "cluster_metbench_64",
         "cluster_metbench_64_sharded",
+    ):
+        if wanted(name):
+            plan.append((name, cluster_rounds))
+    for name in (
+        "serve_throughput_1w",
+        "serve_throughput_4w",
+        "serve_throughput_warm",
     ):
         if wanted(name):
             plan.append((name, cluster_rounds))

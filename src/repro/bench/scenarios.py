@@ -28,6 +28,12 @@ nodes"):
   one HPCSched per node.  End-to-end cluster throughput, balance timers
   and all.
 
+The service-layer scenarios (:func:`serve_throughput`,
+:func:`serve_throughput_warm`) measure ``repro.serve`` end to end —
+admission, journal, fair-share dispatch, worker execution — in jobs
+completed rather than simulator events: their ``events_per_sec`` reads
+as jobs/sec.
+
 All scenarios are deterministic: same arguments, same event count.
 """
 
@@ -208,3 +214,88 @@ def event_storm_wide_sharded(
         workers=workers,
     )
     return result.events
+
+
+# ----------------------------------------------------------------------
+# Service-layer scenarios (repro.serve)
+# ----------------------------------------------------------------------
+
+#: Jobs per service throughput pass; well inside the default admission
+#: bounds so no submission is ever rejected mid-bench.
+DEFAULT_SERVE_JOBS = 32
+
+
+def _serve_pass(root: str, tenant: str, jobs: int, workers: int) -> int:
+    """One full service pass: boot, submit ``jobs`` runs, drain, stop.
+
+    Returns the number of completed jobs (the harness's "events", so
+    the recorded throughput is jobs/sec).  Thread workers keep the
+    measurement about the service overhead — admission, journal writes,
+    fair-share dispatch — not process fork cost.
+    """
+    import asyncio
+
+    from repro.campaign.spec import RunSpec
+    from repro.serve.service import CampaignService
+    from repro.serve.state import ServeConfig
+
+    async def scenario() -> int:
+        service = CampaignService(
+            ServeConfig(
+                root=root,
+                port=0,
+                workers=workers,
+                worker_mode="thread",
+                manual_clock=True,
+                epoch_interval=None,
+            )
+        )
+        await service.start()
+        specs = [
+            (RunSpec(experiment="table1", seed=s), "") for s in range(jobs)
+        ]
+        accepted, rejection = service.submit(tenant, specs)
+        if rejection is not None or len(accepted) != jobs:
+            raise RuntimeError("bench submission was rejected")
+        if not await service.drain(timeout=600.0):
+            raise RuntimeError("bench drain timed out")
+        await service.stop()
+        return len(accepted)
+
+    return asyncio.run(scenario())
+
+
+def serve_throughput(
+    jobs: int = DEFAULT_SERVE_JOBS, workers: int = 1
+) -> int:
+    """Cold-cache service throughput on a fresh root."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as root:
+        return _serve_pass(root, "bench", jobs, workers)
+
+
+def serve_throughput_warm(
+    jobs: int = DEFAULT_SERVE_JOBS, workers: int = 1
+):
+    """Factory for the warm-cache pass: returns the measurable callable.
+
+    The cold fill happens here, outside the measurement; each call of
+    the returned function submits the identical matrix as a fresh
+    tenant, so every job completes from the shared content-addressed
+    cache with zero executions — the pure service-overhead floor.
+    """
+    import atexit
+    import itertools
+    import shutil
+    import tempfile
+
+    root = tempfile.mkdtemp(prefix="bench-serve-warm-")
+    atexit.register(shutil.rmtree, root, ignore_errors=True)
+    _serve_pass(root, "seed", jobs, workers)
+    counter = itertools.count(1)
+
+    def run() -> int:
+        return _serve_pass(root, f"warm{next(counter)}", jobs, workers)
+
+    return run

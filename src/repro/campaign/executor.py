@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import multiprocessing
+import threading
 import time
 import traceback
 from collections import deque
@@ -52,6 +53,140 @@ import repro
 
 class CampaignConsistencyError(AssertionError):
     """Parallel and serial executions of a run disagreed byte-for-byte."""
+
+
+def _mp_context():
+    """Fork where available (cheap workers), default elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class PoolManager:
+    """Thread-safe, generation-guarded worker-pool lifecycle.
+
+    The executor used to keep its ``ProcessPoolExecutor`` in a bare
+    attribute with the timeout write-off counter as a loop-local and
+    the rebuild logic inline in the drain loop.  That was fine for the
+    one-shot CLI (a single drain thread owns the pool), but it is not
+    idempotent under concurrent submissions: with two drains sharing
+    one executor (as ``repro.serve`` does), both could observe the same
+    hung/broken pool and both would tear it down and rebuild — the
+    second teardown killing a *fresh* pool that already carried the
+    first drain's resubmitted in-flight runs, so those runs ran twice
+    (or their results were lost) and the write-off counter was reset
+    against the wrong pool.
+
+    The fix is an idempotency token: every pool carries a
+    **generation**.  Callers capture the generation together with the
+    pool; :meth:`rebuild` replaces the pool only when the caller's
+    generation is still current and is a no-op otherwise (a concurrent
+    caller already rebuilt).  Slot write-offs are generation-scoped the
+    same way, so a timeout observed against a pool that no longer
+    exists cannot push a healthy replacement pool over the rebuild
+    threshold.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        self.jobs = max(1, jobs)
+        self._lock = threading.Lock()
+        self._pool: Optional[concurrent.futures.Executor] = None
+        self._generation = 0
+        self._lost_slots = 0
+        #: Pools rebuilt over this manager's lifetime (observability +
+        #: regression tests).
+        self.rebuilds = 0
+
+    def _new_pool(self) -> concurrent.futures.Executor:
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.jobs, mp_context=_mp_context()
+        )
+
+    @property
+    def generation(self) -> int:
+        """The current pool generation (0 before the first pool)."""
+        with self._lock:
+            return self._generation
+
+    def submit(
+        self, fn: Callable, *args: Any
+    ) -> Tuple[concurrent.futures.Future, int]:
+        """Submit ``fn(*args)``; returns ``(future, generation)``.
+
+        Creates the pool lazily and retries if the pool it grabbed was
+        concurrently shut down (the submit/rebuild race is resolved
+        here instead of leaking ``RuntimeError`` to the caller).
+        """
+        while True:
+            with self._lock:
+                if self._pool is None:
+                    self._pool = self._new_pool()
+                    self._generation += 1
+                    self._lost_slots = 0
+                pool, generation = self._pool, self._generation
+            try:
+                return pool.submit(fn, *args), generation
+            except RuntimeError:
+                # The pool was shut down between acquire and submit by a
+                # concurrent rebuild; loop for the replacement.
+                with self._lock:
+                    if self._pool is pool:
+                        self._pool = None
+
+    def write_off(self, generation: int) -> bool:
+        """Write off one worker slot of ``generation``.
+
+        Returns ``True`` when every slot of the *current* pool has been
+        written off (the caller should rebuild).  A stale generation —
+        the pool was already replaced — is a no-op returning ``False``.
+        """
+        with self._lock:
+            if generation != self._generation or self._pool is None:
+                return False
+            self._lost_slots += 1
+            return self._lost_slots >= self.jobs
+
+    def rebuild(self, generation: int) -> bool:
+        """Replace the pool of ``generation``, idempotently.
+
+        Only the first caller observing a given generation performs the
+        teardown; later callers (concurrent drains that observed the
+        same breakage) get ``False`` and simply resubmit onto the
+        replacement via :meth:`submit`.
+        """
+        with self._lock:
+            if generation != self._generation:
+                return False
+            # A second caller with the current generation finds the pool
+            # already detached (None) and backs off; the generation only
+            # advances when the replacement is created in submit().
+            pool, self._pool = self._pool, None
+            if pool is None:
+                return False
+            self._lost_slots = 0
+            self.rebuilds += 1
+        self._discard(pool)
+        return True
+
+    def shutdown(self) -> None:
+        """Tear the current pool down (end of campaign / service)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            self._discard(pool)
+
+    @staticmethod
+    def _discard(pool: concurrent.futures.Executor) -> None:
+        """Tear down a pool that may contain hung or dead workers."""
+        try:
+            procs = list(getattr(pool, "_processes", {}).values())
+        except Exception:  # pragma: no cover - private API drift
+            procs = []
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
 
 
 def execute_runspec(payload: Dict[str, Any]) -> Tuple[str, str, float]:
@@ -140,34 +275,9 @@ class CampaignExecutor:
         self.store = store
         self.on_event = on_event or (lambda kind, **info: None)
         self.verify = max(0, verify)
-        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
-
-    # -- pool management ----------------------------------------------
-
-    def _mp_context(self):
-        methods = multiprocessing.get_all_start_methods()
-        if "fork" in methods:
-            return multiprocessing.get_context("fork")
-        return multiprocessing.get_context()
-
-    def _new_pool(self) -> concurrent.futures.ProcessPoolExecutor:
-        return concurrent.futures.ProcessPoolExecutor(
-            max_workers=self.jobs, mp_context=self._mp_context()
-        )
-
-    def _discard_pool(self) -> None:
-        """Tear down a pool that may contain hung or dead workers."""
-        pool, self._pool = self._pool, None
-        if pool is None:
-            return
-        try:
-            procs = list(getattr(pool, "_processes", {}).values())
-        except Exception:  # pragma: no cover - private API drift
-            procs = []
-        pool.shutdown(wait=False, cancel_futures=True)
-        for proc in procs:
-            if proc.is_alive():
-                proc.terminate()
+        #: Shared worker-pool lifecycle; safe to use from several
+        #: concurrent drains (see :class:`PoolManager`).
+        self.pools = PoolManager(self.jobs)
 
     # -- record plumbing ----------------------------------------------
 
@@ -275,9 +385,11 @@ class CampaignExecutor:
         keys: Dict[str, str],
     ) -> None:
         """Run the submit/collect/timeout loop until nothing is left."""
-        self._pool = self._new_pool()
-        active: Dict[concurrent.futures.Future, Tuple[RunSpec, int, Optional[float], float]] = {}
-        lost_slots = 0
+        #: future -> (spec, attempt, deadline, t0, pool generation).
+        active: Dict[
+            concurrent.futures.Future,
+            Tuple[RunSpec, int, Optional[float], float, int],
+        ] = {}
         try:
             while pending or active:
                 now = time.monotonic()
@@ -295,8 +407,8 @@ class CampaignExecutor:
                         continue
                     per_timeout = spec.timeout if spec.timeout is not None else self.timeout
                     deadline = now + per_timeout if per_timeout else None
-                    fut = self._pool.submit(execute_runspec, spec.to_payload())
-                    active[fut] = (spec, attempt, deadline, time.monotonic())
+                    fut, gen = self.pools.submit(execute_runspec, spec.to_payload())
+                    active[fut] = (spec, attempt, deadline, time.monotonic(), gen)
                     self.on_event("start", spec=spec, run_id=spec.run_id, attempt=attempt)
 
                 if not active:
@@ -307,7 +419,7 @@ class CampaignExecutor:
 
                 wait_for = [
                     d - time.monotonic()
-                    for _, _, d, _ in active.values()
+                    for _, _, d, _, _ in active.values()
                     if d is not None
                 ]
                 if pending and len(active) < self.jobs:
@@ -324,16 +436,24 @@ class CampaignExecutor:
                     return_when=concurrent.futures.FIRST_COMPLETED,
                 )
 
-                pool_broken = False
+                rebuild_gen: Optional[int] = None
                 for fut in done:
-                    spec, attempt, _deadline, t0 = active.pop(fut)
+                    spec, attempt, _deadline, t0, gen = active.pop(fut)
                     elapsed = time.monotonic() - t0
                     try:
                         status, data, wall = fut.result()
                     except concurrent.futures.CancelledError:
+                        # This drain's own cancellations (timeout
+                        # write-off, rebuild resubmission) pop the
+                        # future from ``active`` first and never reach
+                        # here — so this cancellation is external: a
+                        # concurrent drain retired the shared pool while
+                        # the run sat queued.  Not a run failure;
+                        # resubmit without burning an attempt.
+                        pending.append((spec, attempt, 0.0))
                         continue
                     except Exception as exc:  # pool breakage, not run code
-                        pool_broken = True
+                        rebuild_gen = gen if rebuild_gen is None else rebuild_gen
                         self._handle_failure(
                             result,
                             pending,
@@ -373,12 +493,13 @@ class CampaignExecutor:
                 now = time.monotonic()
                 for fut in [
                     f
-                    for f, (_, _, d, _) in active.items()
+                    for f, (_, _, d, _, _) in active.items()
                     if d is not None and now >= d
                 ]:
-                    spec, attempt, _deadline, t0 = active.pop(fut)
-                    if not fut.cancel():
-                        lost_slots += 1
+                    spec, attempt, _deadline, t0, gen = active.pop(fut)
+                    if not fut.cancel() and self.pools.write_off(gen):
+                        # Every slot of this pool is written off.
+                        rebuild_gen = gen if rebuild_gen is None else rebuild_gen
                     self._handle_failure(
                         result,
                         pending,
@@ -393,17 +514,19 @@ class CampaignExecutor:
                         timed_out=True,
                     )
 
-                if pool_broken or lost_slots >= self.jobs:
-                    # Resubmit whatever was in flight (no attempt burned).
-                    for fut, (spec, attempt, _d, _t0) in active.items():
+                if rebuild_gen is not None:
+                    # Resubmit whatever was in flight (no attempt burned)
+                    # and retire the broken pool.  rebuild() is
+                    # generation-guarded: if a concurrent drain already
+                    # replaced it, this is a no-op and the resubmissions
+                    # simply land on the fresh pool.
+                    for fut, (spec, attempt, _d, _t0, _g) in active.items():
                         fut.cancel()
                         pending.append((spec, attempt, 0.0))
                     active.clear()
-                    self._discard_pool()
-                    self._pool = self._new_pool()
-                    lost_slots = 0
+                    self.pools.rebuild(rebuild_gen)
         finally:
-            self._discard_pool()
+            self.pools.shutdown()
 
     def _handle_failure(
         self,

@@ -22,6 +22,12 @@ Three mostly-independent components:
 Helper :func:`attach_hpcsched` wires everything onto a simulated kernel.
 """
 
+from repro.hpcsched.bands import (
+    BandConfig,
+    adaptive_mix,
+    band_target,
+    global_before_last,
+)
 from repro.hpcsched.sched_hpc import HPCSchedClass, attach_hpcsched
 from repro.hpcsched.detector import LoadImbalanceDetector, HPCTaskStats
 from repro.hpcsched.heuristics import (
@@ -39,6 +45,10 @@ from repro.hpcsched.mechanism import (
 from repro.hpcsched.balance import spread_hpc_tasks, hpc_task_distribution
 
 __all__ = [
+    "BandConfig",
+    "adaptive_mix",
+    "band_target",
+    "global_before_last",
     "HPCSchedClass",
     "attach_hpcsched",
     "LoadImbalanceDetector",

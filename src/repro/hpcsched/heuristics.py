@@ -30,6 +30,13 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Dict, Optional
 
+from repro.hpcsched.bands import (
+    BandConfig,
+    adaptive_mix,
+    band_target,
+    global_before_last,
+)
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hpcsched.detector import HPCTaskStats, LoadImbalanceDetector
     from repro.kernel.task import Task
@@ -59,21 +66,24 @@ class Heuristic(ABC):
         task: "Task",
         util_pct: float,
     ) -> Optional[int]:
-        """Apply the LOW/HIGH utilization bands to ``util_pct``."""
-        # Band values come from the detector's tunable cache (refreshed
-        # on every tunables.set) — decide() runs per iteration close.
-        current = detector.mechanism.read(task)
+        """Apply the LOW/HIGH utilization bands to ``util_pct``.
 
-        if util_pct >= detector._high_util:
-            target = detector._max_prio
-        elif util_pct <= detector._low_util:
-            target = detector._min_prio
-        else:
-            return None
-
-        if detector._prio_step_mode == "step" and target != current:
-            return current + (1 if target > current else -1)
-        return target
+        The band arithmetic itself lives in :mod:`repro.hpcsched.bands`
+        (shared with the service-layer fair-share balancer); this
+        method only supplies the detector's tunable cache — refreshed
+        on every tunables.set — and the task's current priority.
+        """
+        return band_target(
+            util_pct,
+            current=detector.mechanism.read(task),
+            cfg=BandConfig(
+                low_util=detector._low_util,
+                high_util=detector._high_util,
+                min_prio=detector._min_prio,
+                max_prio=detector._max_prio,
+                step=detector._prio_step_mode == "step",
+            ),
+        )
 
 
 class UniformHeuristic(Heuristic):
@@ -96,25 +106,22 @@ class AdaptiveHeuristic(Heuristic):
     name = "adaptive"
 
     def decide(self, detector, task, stats) -> Optional[int]:
-        g = detector._adaptive_g
-        l = detector._adaptive_l
         last = stats.last_util if stats.last_util is not None else 0.0
-        prev_global = self._global_before_last(stats)
-        util = g * prev_global + l * last
+        util = adaptive_mix(
+            detector._adaptive_g,
+            detector._adaptive_l,
+            self._global_before_last(stats),
+            last,
+        )
         return self._target_from_util(detector, task, util * 100.0)
 
     @staticmethod
     def _global_before_last(stats: "HPCTaskStats") -> float:
-        """Global utilization excluding the just-closed iteration.
-
-        Reconstructed from the history as a duration-unweighted mean;
-        for the first iteration it falls back to the last utilization
-        (no history yet).
-        """
+        """``Ug(i-1)`` reconstructed from the stats' history (see
+        :func:`repro.hpcsched.bands.global_before_last`)."""
         if stats.iterations <= 1:
             return stats.last_util if stats.last_util is not None else 0.0
-        older = stats.history[:-1]
-        return sum(older) / len(older)
+        return global_before_last(stats.history, stats.last_util)
 
 
 class HybridHeuristic(Heuristic):

@@ -1,0 +1,66 @@
+"""repro.serve — multi-tenant campaign service.
+
+A long-running asyncio service wrapping the one-shot campaign layer:
+durable SQLite job queue, stdlib HTTP/JSON API with incremental NDJSON
+result streaming, a worker pool reusing the campaign executor's
+process-pool machinery and content-addressed cache, bounded-queue
+admission control, and — the point of the exercise — fair-share
+scheduling across tenants driven by the paper's own Load Imbalance
+Detector: one scheduler epoch per detector iteration, per-tenant
+demand fraction as utilization, Uniform/Adaptive bands assigning
+worker-slot priorities in ``[4, 6]``, stride dispatch turning those
+priorities into slot shares.
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionDecision
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.queue import JobQueue
+from repro.serve.scheduler import (
+    BalancerConfig,
+    FairShareBalancer,
+    FairShareScheduler,
+)
+from repro.serve.service import CampaignService
+from repro.serve.state import (
+    JOB_CANCELLED,
+    JOB_FAILED,
+    JOB_OK,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    TERMINAL_STATES,
+    Job,
+    ServeConfig,
+    VirtualClock,
+    job_id_for,
+)
+from repro.serve.stream import EventBroker, ndjson_line, stream_jobs
+from repro.serve.tenants import TenantAccount, TenantRegistry
+from repro.serve.workers import WorkerPool
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "BalancerConfig",
+    "CampaignService",
+    "EventBroker",
+    "FairShareBalancer",
+    "FairShareScheduler",
+    "JOB_CANCELLED",
+    "JOB_FAILED",
+    "JOB_OK",
+    "JOB_QUEUED",
+    "JOB_RUNNING",
+    "Job",
+    "JobQueue",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "TERMINAL_STATES",
+    "TenantAccount",
+    "TenantRegistry",
+    "VirtualClock",
+    "WorkerPool",
+    "job_id_for",
+    "ndjson_line",
+    "stream_jobs",
+]

@@ -1,0 +1,90 @@
+"""Admission control and backpressure.
+
+The queue is durable, not infinite: each tenant gets a bounded number
+of queued jobs and the service a global bound.  Past either bound a
+submission is **rejected up front** with a 429-style decision (carrying
+a retry hint derived from queue pressure) instead of being accepted
+and starved — bounded queues are what keeps tail latency and recovery
+time bounded when heavy traffic arrives.
+
+A draining service rejects everything: shutdown finishes the work it
+already accepted and never takes on more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    ok: bool
+    reason: str = ""
+    #: HTTP status the API should answer with when not ok.
+    status: int = 200
+    #: Suggested client back-off in seconds (429 responses).
+    retry_after: Optional[float] = None
+
+
+ACCEPT = AdmissionDecision(ok=True)
+
+
+class AdmissionController:
+    """Bounded per-tenant and global queue depth, plus drain mode."""
+
+    def __init__(
+        self,
+        max_tenant_depth: int,
+        max_total_depth: int,
+        retry_after: float = 1.0,
+    ) -> None:
+        self.max_tenant_depth = max(1, max_tenant_depth)
+        self.max_total_depth = max(1, max_total_depth)
+        self.retry_after = retry_after
+        self.draining = False
+        self.rejections = 0
+
+    def admit(self, tenant_depth: int, total_depth: int) -> AdmissionDecision:
+        """Decide one submission given current queue depths."""
+        if self.draining:
+            self.rejections += 1
+            return AdmissionDecision(
+                ok=False,
+                reason="service is draining; not accepting new jobs",
+                status=503,
+            )
+        if total_depth >= self.max_total_depth:
+            self.rejections += 1
+            return AdmissionDecision(
+                ok=False,
+                reason=(
+                    f"queue full: {total_depth} jobs queued service-wide "
+                    f"(limit {self.max_total_depth})"
+                ),
+                status=429,
+                retry_after=self.retry_after,
+            )
+        if tenant_depth >= self.max_tenant_depth:
+            self.rejections += 1
+            return AdmissionDecision(
+                ok=False,
+                reason=(
+                    f"tenant queue full: {tenant_depth} jobs queued "
+                    f"(limit {self.max_tenant_depth})"
+                ),
+                status=429,
+                retry_after=self.retry_after,
+            )
+        return ACCEPT
+
+    def snapshot(self) -> dict:
+        """Metrics view."""
+        return {
+            "max_tenant_depth": self.max_tenant_depth,
+            "max_total_depth": self.max_total_depth,
+            "draining": self.draining,
+            "rejections": self.rejections,
+        }

@@ -1,0 +1,160 @@
+"""Synchronous client for the campaign service API.
+
+Built on :mod:`http.client` so the CLI (``repro submit``) and the
+tests speak to the service exactly the way any third-party HTTP client
+would — one request per connection, JSON in, JSON (or NDJSON lines)
+out.  No dependency on the service internals: everything round-trips
+through the wire format.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Iterator, List, Optional
+from urllib.parse import urlencode
+
+
+class ServeError(RuntimeError):
+    """A non-2xx API answer, carrying status and decoded body."""
+
+    def __init__(self, status: int, body: Dict[str, Any]) -> None:
+        super().__init__(f"HTTP {status}: {body.get('error', body)}")
+        self.status = status
+        self.body = body
+        self.retry_after: Optional[float] = None
+
+
+class ServeClient:
+    """Talk to a running campaign service."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        ok: bool = True,
+    ) -> Dict[str, Any]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = json.dumps(body).encode("utf-8") if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+            doc = json.loads(raw.decode("utf-8")) if raw else {}
+            if ok and resp.status >= 400:
+                err = ServeError(resp.status, doc)
+                retry = resp.getheader("Retry-After")
+                if retry is not None:
+                    err.retry_after = float(retry)
+                raise err
+            doc["_status"] = resp.status
+            return doc
+        finally:
+            conn.close()
+
+    # -- API surface ---------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        """Liveness probe."""
+        return self._request("GET", "/v1/healthz")
+
+    def submit(
+        self, tenant: str, runs: List[Dict[str, Any]], ok: bool = True
+    ) -> Dict[str, Any]:
+        """Submit a batch of run descriptors for ``tenant``.
+
+        Each run is ``{"experiment": ..., "params": {...}, "seed": ...,
+        "tag": ...}``.  With ``ok=False`` a 429/503 rejection is
+        returned as a document (``_status`` carries the HTTP status)
+        instead of raising :class:`ServeError`.
+        """
+        return self._request(
+            "POST", "/v1/submit", {"tenant": tenant, "runs": runs}, ok=ok
+        )
+
+    def status(self, job: str) -> Dict[str, Any]:
+        """One job's public record."""
+        return self._request("GET", f"/v1/status?{urlencode({'job': job})}")
+
+    def tenant_status(self, tenant: str) -> Dict[str, Any]:
+        """Every job of one tenant."""
+        return self._request(
+            "GET", f"/v1/status?{urlencode({'tenant': tenant})}"
+        )
+
+    def cancel(self, job: str, ok: bool = True) -> Dict[str, Any]:
+        """Cancel one job."""
+        return self._request("POST", "/v1/cancel", {"job": job}, ok=ok)
+
+    def metrics(self) -> Dict[str, Any]:
+        """The full metrics document."""
+        return self._request("GET", "/v1/metrics")
+
+    def tick(self, epochs: int = 1) -> Dict[str, Any]:
+        """Advance the virtual epoch clock (manual-clock services)."""
+        return self._request("POST", "/v1/tick", {"epochs": epochs})
+
+    def drain(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Stop admission and wait for the queue to empty."""
+        body: Dict[str, Any] = {}
+        if timeout is not None:
+            body["timeout"] = timeout
+        return self._request("POST", "/v1/drain", body, ok=False)
+
+    def results(
+        self,
+        jobs: Optional[List[str]] = None,
+        tenant: Optional[str] = None,
+        follow: bool = False,
+        timeout: Optional[float] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Stream results as parsed NDJSON records.
+
+        With ``follow=True`` the iterator blocks until every requested
+        job is terminal — each record arrives the moment its job
+        finishes, so results can be consumed while the campaign runs.
+        """
+        params: List[tuple] = []
+        for jid in jobs or []:
+            params.append(("job", jid))
+        if tenant is not None:
+            params.append(("tenant", tenant))
+        if follow:
+            params.append(("follow", "1"))
+        conn = http.client.HTTPConnection(
+            self.host,
+            self.port,
+            timeout=timeout if timeout is not None else self.timeout,
+        )
+        try:
+            conn.request("GET", f"/v1/results?{urlencode(params)}")
+            resp = conn.getresponse()
+            if resp.status >= 400:
+                raw = resp.read()
+                doc = json.loads(raw.decode("utf-8")) if raw else {}
+                raise ServeError(resp.status, doc)
+            buffer = b""
+            while True:
+                chunk = resp.read(4096)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if line.strip():
+                        yield json.loads(line.decode("utf-8"))
+            if buffer.strip():
+                yield json.loads(buffer.decode("utf-8"))
+        finally:
+            conn.close()

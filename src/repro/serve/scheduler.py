@@ -1,0 +1,251 @@
+"""Fair-share scheduling driven by the paper's own imbalance detector.
+
+Two cooperating pieces:
+
+* :class:`FairShareBalancer` — a service-layer port of the kernel's
+  Load Imbalance Detector (paper §IV-B).  One scheduler epoch plays
+  the role of one application iteration; a tenant's per-epoch *demand
+  fraction* (how much of the epoch it had work pending or running)
+  plays the role of a task's compute utilization.  The Uniform and
+  Adaptive heuristics then map utilization to a worker-slot priority
+  in ``[min_prio, max_prio]`` through the **same band arithmetic** the
+  kernel heuristics use (:mod:`repro.hpcsched.bands`) and the same
+  :class:`~repro.hpcsched.detector.HPCTaskStats` bookkeeping — the
+  service and the simulated kernel cannot drift apart.
+
+  The detector's stable-state machine is ported too: once an epoch
+  passes with no priority change the balancer **freezes** and only
+  re-balances when a tenant's utilization deviates from its frozen
+  reference by more than ``rebalance_delta`` points (a workload step,
+  e.g. the MetBenchVar-style demand reversal exercised in the tests)
+  — the paper's answer to priority oscillation, applied to tenants.
+
+* :class:`FairShareScheduler` — turns priorities into dispatch
+  decisions by stride scheduling: each tenant advances a pass value by
+  ``1/priority`` per dispatched job, and the lowest pass goes first,
+  so over time tenants receive worker slots proportionally to their
+  balancer-assigned priorities.  Decisions are a pure function of
+  (pass values, priorities); no wall clock anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.hpcsched.bands import (
+    BandConfig,
+    adaptive_mix,
+    band_target,
+    global_before_last,
+)
+from repro.serve.tenants import TenantAccount, TenantRegistry
+
+#: Balancer states (the detector's three-state machine).
+ADJUSTING = "adjusting"
+OBSERVING = "observing"
+FROZEN = "frozen"
+
+
+@dataclass(frozen=True)
+class BalancerConfig:
+    """Fair-share knobs, mirroring the ``hpcsched/*`` tunables."""
+
+    heuristic: str = "adaptive"  # "uniform" | "adaptive"
+    band: BandConfig = BandConfig(
+        low_util=65.0, high_util=85.0, min_prio=4, max_prio=6
+    )
+    adaptive_g: float = 0.1
+    adaptive_l: float = 0.9
+    #: Frozen-state thaw threshold, in utilization points.
+    rebalance_delta: float = 10.0
+
+
+class FairShareBalancer:
+    """Assign per-tenant worker-slot priorities from demand history."""
+
+    def __init__(
+        self, registry: TenantRegistry, config: Optional[BalancerConfig] = None
+    ) -> None:
+        self.registry = registry
+        self.config = config or BalancerConfig()
+        if self.config.heuristic not in ("uniform", "adaptive"):
+            raise ValueError(f"unknown heuristic {self.config.heuristic!r}")
+        self.state = ADJUSTING
+        self.epoch = 0
+        self.priority_changes = 0
+        self.behaviour_changes = 0
+        self._freeze_ref: Dict[str, float] = {}
+        #: Tenants seen by the previous epoch close (membership change
+        #: detection: a new tenant thaws the frozen state, exactly as
+        #: the detector's task_added does).
+        self._known: set = set()
+
+    # -- the epoch close (the only decision point) ---------------------
+
+    def close_epoch(self, demand: Dict[str, float]) -> Dict[str, int]:
+        """Close one epoch; returns the tenants whose priority changed.
+
+        ``demand`` maps tenant name -> fraction of the epoch the tenant
+        had work pending or running (0..1).  Tenants known to the
+        registry but absent from ``demand`` close an idle (0.0) epoch —
+        every tenant closes every epoch, which is what makes one epoch
+        one detector *round*.
+        """
+        self.epoch += 1
+        accounts = self.registry.all()
+        names = {a.name for a in accounts}
+        new_names = names - self._known
+        if self.state == FROZEN and new_names:
+            # Membership changed under the freeze: stale references
+            # (the detector's task_added thaw, ported).
+            self._thaw()
+        self._known = names
+
+        closed: List[TenantAccount] = []
+        for acct in accounts:
+            if acct.name in new_names and acct.stats.iterations == 0:
+                # Joined mid-stream: its first iteration spans only
+                # this epoch, not everything since the service booted
+                # (task_added's iter_start alignment).
+                acct.stats.iter_start = float(self.epoch - 1)
+                acct.stats.run_snapshot = acct.demand_time
+            frac = min(1.0, max(0.0, demand.get(acct.name, 0.0)))
+            acct.demand_time += frac
+            acct.stats.close_iteration(
+                now=float(self.epoch), run_now=acct.demand_time
+            )
+            closed.append(acct)
+
+        if self.state == FROZEN:
+            if not any(
+                self._behaviour_changed(a.name, a.stats.last_util)
+                for a in closed
+                if a.stats.last_util is not None
+            ):
+                return {}  # stable state: hold every priority
+            self._thaw()
+
+        changes: Dict[str, int] = {}
+        for acct in closed:
+            new_prio = self._decide(acct)
+            if new_prio is None or new_prio == acct.priority:
+                continue
+            # Mirror the detector: while observing (a change's effect is
+            # being measured) only downward corrections are safe.
+            if self.state == ADJUSTING or new_prio < acct.priority:
+                acct.priority = new_prio
+                acct.priority_history.append((self.epoch, new_prio))
+                self.priority_changes += 1
+                changes[acct.name] = new_prio
+
+        # Round bookkeeping: changes -> measure one more epoch before
+        # freezing; a quiet epoch -> the shares are stable, freeze.
+        if changes:
+            self.state = OBSERVING
+        else:
+            self._freeze(closed)
+        return changes
+
+    # -- heuristic plumbing (shared band arithmetic) -------------------
+
+    def _decide(self, acct: TenantAccount) -> Optional[int]:
+        stats = acct.stats
+        if stats.last_util is None:
+            return None
+        if self.config.heuristic == "uniform":
+            util = stats.global_util
+        else:
+            last = stats.last_util
+            if stats.iterations <= 1:
+                prev_global = last
+            else:
+                prev_global = global_before_last(stats.history, last)
+            util = adaptive_mix(
+                self.config.adaptive_g,
+                self.config.adaptive_l,
+                prev_global,
+                last,
+            )
+        return band_target(
+            util * 100.0, current=acct.priority, cfg=self.config.band
+        )
+
+    # -- stable-state machinery ---------------------------------------
+
+    def _freeze(self, closed: Iterable[TenantAccount]) -> None:
+        self.state = FROZEN
+        self._freeze_ref = {
+            a.name: a.stats.last_util
+            for a in closed
+            if a.stats.last_util is not None
+        }
+
+    def _behaviour_changed(self, name: str, util: float) -> bool:
+        ref = self._freeze_ref.get(name)
+        if ref is None:
+            return False
+        return abs(util - ref) * 100.0 > self.config.rebalance_delta
+
+    def _thaw(self) -> None:
+        """Behaviour change: the demand history describes the old load."""
+        self.state = ADJUSTING
+        self.behaviour_changes += 1
+        self._freeze_ref.clear()
+        for acct in self.registry.all():
+            acct.stats.reset_history()
+
+    @property
+    def frozen(self) -> bool:
+        """Whether the balancer sits in the stable state."""
+        return self.state == FROZEN
+
+    def snapshot(self) -> Dict[str, object]:
+        """Metrics view of the balancer."""
+        return {
+            "heuristic": self.config.heuristic,
+            "state": self.state,
+            "epoch": self.epoch,
+            "priority_changes": self.priority_changes,
+            "behaviour_changes": self.behaviour_changes,
+            "priorities": {
+                a.name: a.priority for a in self.registry.all()
+            },
+        }
+
+
+class FairShareScheduler:
+    """Stride dispatch over balancer-assigned tenant priorities."""
+
+    def __init__(self, registry: TenantRegistry) -> None:
+        self.registry = registry
+        #: Virtual time: the pass value of the last dispatched job.
+        self._global_pass = 0.0
+
+    def rejoin(self, tenant: str) -> None:
+        """A tenant's queue went empty -> nonempty.
+
+        Its pass value catches up to the global virtual time, so an
+        idle spell cannot be hoarded as dispatch credit (the standard
+        stride-scheduling join rule).
+        """
+        acct = self.registry.get(tenant)
+        acct.pass_value = max(acct.pass_value, self._global_pass)
+
+    def pick(self, eligible: List[str]) -> Optional[str]:
+        """The eligible tenant that should dispatch next.
+
+        Lowest pass value wins; ties break by name for determinism.
+        """
+        if not eligible:
+            return None
+        accounts = [self.registry.get(name) for name in sorted(eligible)]
+        best = min(accounts, key=lambda a: (a.pass_value, a.name))
+        return best.name
+
+    def charge(self, tenant: str) -> None:
+        """Account one dispatched job to ``tenant``."""
+        acct = self.registry.get(tenant)
+        acct.pass_value += 1.0 / max(1, acct.priority)
+        acct.dispatches += 1
+        self._global_pass = acct.pass_value

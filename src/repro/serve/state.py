@@ -1,0 +1,197 @@
+"""Shared data model of the campaign service.
+
+Three things live here because every other ``repro.serve`` module needs
+them and none may depend on the others:
+
+* the **job lifecycle** — :class:`Job` records and their state
+  constants.  A job is one :class:`~repro.campaign.spec.RunSpec`
+  submitted by a tenant; its identity (and therefore its idempotency
+  key) is the tenant, the spec's content digest, and an optional
+  client-supplied ``tag`` for deliberate re-runs;
+* the **virtual epoch clock** — all fair-share decisions advance on
+  discrete epochs, never on wall-clock sleeps, so scheduling behaviour
+  is deterministically assertable in tests.  In production a background
+  task calls :meth:`VirtualClock.advance` every ``epoch_interval``
+  seconds; under test (or ``manual_clock``) the test advances it
+  explicitly (``POST /v1/tick``);
+* the **service configuration** — one :class:`ServeConfig` dataclass
+  threaded through queue, scheduler, workers, and API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.campaign.spec import RunSpec, spec_sha256
+
+# -- job lifecycle -----------------------------------------------------
+
+JOB_QUEUED = "QUEUED"
+JOB_RUNNING = "RUNNING"
+JOB_OK = "OK"
+JOB_FAILED = "FAILED"
+JOB_CANCELLED = "CANCELLED"
+
+#: States a job can never leave.
+TERMINAL_STATES = frozenset({JOB_OK, JOB_FAILED, JOB_CANCELLED})
+
+#: Every state the journal may contain.
+ALL_STATES = frozenset(
+    {JOB_QUEUED, JOB_RUNNING, JOB_OK, JOB_FAILED, JOB_CANCELLED}
+)
+
+
+def job_id_for(tenant: str, spec: RunSpec, tag: str = "") -> str:
+    """Deterministic job id: ``<tenant>/<experiment>-<digest>[-<tag>]``.
+
+    The digest covers the spec identity *and* the tag, so resubmitting
+    an identical spec is idempotent (the service returns the existing
+    job) while a distinct ``tag`` makes a deliberate duplicate.
+    """
+    digest = spec_sha256({"spec": spec.identity(), "tag": tag})[:12]
+    suffix = f"-{tag}" if tag else ""
+    return f"{tenant}/{spec.experiment}-{digest}{suffix}"
+
+
+@dataclass
+class Job:
+    """One submitted run and its journaled lifecycle."""
+
+    job_id: str
+    tenant: str
+    spec: Dict[str, Any]  # RunSpec.to_payload() form
+    cache_key: str = ""
+    state: str = JOB_QUEUED
+    attempt: int = 0
+    #: Times a worker actually started executing this job (the
+    #: zero-duplicate-execution ledger: cache hits don't count).
+    executions: int = 0
+    submitted_epoch: int = 0
+    started_epoch: Optional[int] = None
+    finished_epoch: Optional[int] = None
+    error: Optional[str] = None
+    #: Canonical result payload bytes (exactly what the campaign cache
+    #: stores), present once the job is OK.
+    result: Optional[bytes] = None
+    cache_hit: bool = False
+    #: Submission order within the service (journal rowid).
+    seq: int = 0
+    #: True when this job was re-queued by crash recovery.
+    recovered: bool = False
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the job reached a final state."""
+        return self.state in TERMINAL_STATES
+
+    def run_spec(self) -> RunSpec:
+        """The job's spec as a live :class:`RunSpec`."""
+        return RunSpec.from_payload(self.spec)
+
+    def to_public(self, with_result: bool = False) -> Dict[str, Any]:
+        """JSON-able view served by the API (results only on demand)."""
+        out: Dict[str, Any] = {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "experiment": self.spec.get("experiment"),
+            "state": self.state,
+            "attempt": self.attempt,
+            "executions": self.executions,
+            "cache_hit": self.cache_hit,
+            "submitted_epoch": self.submitted_epoch,
+            "started_epoch": self.started_epoch,
+            "finished_epoch": self.finished_epoch,
+            "error": self.error,
+            "recovered": self.recovered,
+        }
+        if with_result and self.result is not None:
+            import json
+
+            out["result"] = json.loads(self.result.decode("utf-8"))
+        return out
+
+
+# -- virtual epoch clock ----------------------------------------------
+
+class VirtualClock:
+    """A discrete epoch counter; the only clock scheduling sees.
+
+    Subscribers (the service's tick pipeline) run synchronously on
+    :meth:`advance`, so a test that advances the clock observes the
+    complete scheduling consequence before its next assertion.
+    """
+
+    def __init__(self, epoch: int = 0) -> None:
+        self.epoch = epoch
+        self._subscribers: List[Callable[[int], None]] = []
+
+    def subscribe(self, fn: Callable[[int], None]) -> None:
+        """Call ``fn(new_epoch)`` after every advance."""
+        self._subscribers.append(fn)
+
+    def advance(self, epochs: int = 1) -> int:
+        """Advance the clock by ``epochs``; returns the new epoch."""
+        for _ in range(max(0, epochs)):
+            self.epoch += 1
+            for fn in self._subscribers:
+                fn(self.epoch)
+        return self.epoch
+
+
+# -- configuration -----------------------------------------------------
+
+@dataclass
+class ServeConfig:
+    """Everything the campaign service needs to boot."""
+
+    #: Service root directory: the SQLite journal and the shared
+    #: content-addressed result cache live under it.
+    root: str = "serve-data"
+    host: str = "127.0.0.1"
+    #: 0 picks an ephemeral port (reported by ``Service.port``).
+    port: int = 0
+    #: Worker slots available to the dispatcher.
+    workers: int = 2
+    #: ``process`` = ProcessPool via the campaign PoolManager;
+    #: ``thread`` = in-process thread pool (tests, tiny deployments).
+    worker_mode: str = "process"
+    #: Seconds between scheduler epochs; ``None`` (or manual_clock)
+    #: means the clock only advances via ``POST /v1/tick``.
+    epoch_interval: Optional[float] = 0.25
+    manual_clock: bool = False
+    #: Admission control: queued-job bounds (429 beyond them).
+    max_tenant_depth: int = 64
+    max_total_depth: int = 256
+    #: Per-job execution timeout (seconds) and retry budget.
+    job_timeout: Optional[float] = None
+    retries: int = 1
+    #: Fair-share balancer knobs (the paper's bands, service-side).
+    heuristic: str = "adaptive"
+    min_prio: int = 4
+    max_prio: int = 6
+    low_util: float = 65.0
+    high_util: float = 85.0
+    adaptive_g: float = 0.1
+    adaptive_l: float = 0.9
+    rebalance_delta: float = 10.0
+    #: Disable the content-addressed cache (always execute).
+    cache_enabled: bool = True
+    #: Extra metadata surfaced by /v1/metrics.
+    labels: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.worker_mode not in ("process", "thread"):
+            raise ValueError(
+                f"worker_mode must be 'process' or 'thread', "
+                f"got {self.worker_mode!r}"
+            )
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.heuristic not in ("uniform", "adaptive"):
+            raise ValueError(
+                f"heuristic must be 'uniform' or 'adaptive', "
+                f"got {self.heuristic!r}"
+            )
+        if not (0 <= self.min_prio <= self.max_prio):
+            raise ValueError("need 0 <= min_prio <= max_prio")

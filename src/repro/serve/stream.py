@@ -1,0 +1,105 @@
+"""Incremental NDJSON result streaming.
+
+``GET /v1/results`` answers with one JSON object per line, written as
+each requested job reaches a terminal state — a client submits a
+campaign and consumes results while later jobs are still queued or
+running.  NDJSON needs no framing beyond the newline, survives any
+HTTP/1.0 proxy, and is trivially consumed from Python
+(``for line in response``).
+
+The :class:`EventBroker` is the coupling point between the dispatcher
+(which publishes every job state change) and any number of concurrent
+streams: a single asyncio condition variable with a monotonically
+increasing version, so followers wake exactly when something changed
+and re-check their remaining set against the journal.  Followers never
+poll on a wall-clock interval.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, AsyncIterator, Callable, Dict, List, Optional
+
+from repro.serve.state import Job
+
+
+def ndjson_line(obj: Any) -> bytes:
+    """One NDJSON record: compact JSON plus the newline terminator."""
+    return (
+        json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+class EventBroker:
+    """Wakes result streams when any job changes state."""
+
+    def __init__(self) -> None:
+        self._cond: Optional[asyncio.Condition] = None
+        self.version = 0
+
+    def _condition(self) -> asyncio.Condition:
+        # Created lazily so the broker can be built before the loop.
+        if self._cond is None:
+            self._cond = asyncio.Condition()
+        return self._cond
+
+    def publish(self) -> None:
+        """Note a state change and wake every follower."""
+        self.version += 1
+        cond = self._condition()
+
+        async def _notify() -> None:
+            async with cond:
+                cond.notify_all()
+
+        # publish() is called from the event loop; schedule the notify
+        # rather than requiring every caller to be async.
+        asyncio.get_running_loop().create_task(_notify())
+
+    async def wait(self, seen_version: int) -> int:
+        """Block until the version moves past ``seen_version``."""
+        cond = self._condition()
+        async with cond:
+            await cond.wait_for(lambda: self.version > seen_version)
+            return self.version
+
+
+async def stream_jobs(
+    job_ids: List[str],
+    fetch: Callable[[str], Optional[Job]],
+    broker: EventBroker,
+    with_results: bool = True,
+) -> AsyncIterator[bytes]:
+    """Yield NDJSON lines as each requested job turns terminal.
+
+    ``fetch`` reads the authoritative job record (the journal).  Jobs
+    already terminal are emitted immediately, in request order; the
+    rest are emitted as the broker announces changes.  Unknown ids are
+    reported once with ``state: "UNKNOWN"`` so a client can't hang on a
+    typo.
+    """
+    # Snapshot the version BEFORE the initial sweep: a job completing
+    # between its fetch below and the follow loop bumps the version and
+    # is caught by the first wait() instead of being missed.
+    version = broker.version
+    remaining: List[str] = []
+    for jid in job_ids:
+        job = fetch(jid)
+        if job is None:
+            yield ndjson_line({"job_id": jid, "state": "UNKNOWN"})
+        elif job.terminal:
+            yield ndjson_line(job.to_public(with_result=with_results))
+        else:
+            remaining.append(jid)
+
+    while remaining:
+        version = await broker.wait(version)
+        still: List[str] = []
+        for jid in remaining:
+            job = fetch(jid)
+            if job is not None and job.terminal:
+                yield ndjson_line(job.to_public(with_result=with_results))
+            else:
+                still.append(jid)
+        remaining = still

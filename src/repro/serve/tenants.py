@@ -1,0 +1,99 @@
+"""Per-tenant accounting.
+
+Each tenant carries two kinds of state:
+
+* **service counters** — submissions, completions, cache hits,
+  dispatches, admission rejections — surfaced by ``/v1/metrics``;
+* **utilization bookkeeping** — the same
+  :class:`~repro.hpcsched.detector.HPCTaskStats` record the kernel's
+  Load Imbalance Detector keeps per MPI task, reused verbatim at the
+  service layer.  One scheduler epoch plays the role of one
+  application iteration: the fraction of the epoch during which the
+  tenant had work pending or running is its "compute time", the rest
+  is its "wait time", and the resulting per-epoch utilization drives
+  the Uniform/Adaptive priority bands exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hpcsched.detector import HPCTaskStats
+
+
+@dataclass
+class TenantAccount:
+    """One tenant's counters and utilization history."""
+
+    name: str
+    #: Worker-slot priority in ``[min_prio, max_prio]``, assigned by
+    #: the fair-share balancer each epoch; doubles as the tenant's
+    #: dispatch weight.
+    priority: int = 4
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    cache_hits: int = 0
+    #: Jobs handed to a worker slot (excludes cache hits).
+    dispatches: int = 0
+    rejections: int = 0
+    #: Accumulated "demand time": integral of has-work over epochs.
+    demand_time: float = 0.0
+    #: The detector's per-iteration bookkeeping, reused as-is.
+    stats: HPCTaskStats = field(default_factory=lambda: HPCTaskStats(pid=0))
+    #: Stride-scheduling pass value (see FairShareScheduler).
+    pass_value: float = 0.0
+    #: History of (epoch, priority) changes for observability.
+    priority_history: List[tuple] = field(default_factory=list)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able metrics view."""
+        return {
+            "tenant": self.name,
+            "priority": self.priority,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "cache_hits": self.cache_hits,
+            "dispatches": self.dispatches,
+            "rejections": self.rejections,
+            "iterations": self.stats.iterations,
+            "last_util": self.stats.last_util,
+            "global_util": round(self.stats.global_util, 6),
+        }
+
+
+class TenantRegistry:
+    """Name -> :class:`TenantAccount`, created on first sight."""
+
+    def __init__(self, base_priority: int = 4) -> None:
+        self.base_priority = base_priority
+        self._accounts: Dict[str, TenantAccount] = {}
+
+    def get(self, name: str) -> TenantAccount:
+        """The tenant's account, creating it at base priority."""
+        acct = self._accounts.get(name)
+        if acct is None:
+            acct = TenantAccount(name=name, priority=self.base_priority)
+            acct.stats.pid = len(self._accounts)
+            self._accounts[name] = acct
+        return acct
+
+    def peek(self, name: str) -> Optional[TenantAccount]:
+        """The account if it exists (no creation)."""
+        return self._accounts.get(name)
+
+    def all(self) -> List[TenantAccount]:
+        """Every account, in first-seen order."""
+        return list(self._accounts.values())
+
+    def names(self) -> List[str]:
+        """Every tenant name, in first-seen order."""
+        return list(self._accounts)
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """Metrics rows for every tenant."""
+        return [acct.snapshot() for acct in self._accounts.values()]

@@ -1,0 +1,116 @@
+"""Worker-pool dispatch for the service.
+
+Jobs execute through :func:`repro.campaign.executor.execute_runspec` —
+the exact worker entry point the one-shot campaign CLI uses, so the
+service inherits its property that outcomes travel as plain
+``(status, data, wall)`` tuples and nothing exception-shaped crosses a
+process boundary.
+
+Two backends:
+
+* ``process`` — a ``ProcessPoolExecutor`` managed by the campaign
+  layer's generation-guarded :class:`~repro.campaign.executor.
+  PoolManager`, sharing its idempotent rebuild-after-timeout logic
+  (the service's concurrent submissions are why that fix exists);
+* ``thread`` — an in-process thread pool: no fork cost, right for
+  tests and for tiny single-host deployments where the runs themselves
+  are cheap.
+
+The pool is deliberately asyncio-friendly but not asyncio-native: the
+event loop awaits wrapped futures, while the actual work happens in
+workers, keeping the decision path (scheduler/balancer) free of any
+execution stalls.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+from typing import Any, Dict, Optional, Tuple
+
+from repro.campaign.executor import PoolManager, execute_runspec
+
+#: Worker outcome statuses (superset of execute_runspec's).
+OUTCOME_OK = "ok"
+OUTCOME_ERROR = "error"
+OUTCOME_TIMEOUT = "timeout"
+OUTCOME_LOST = "lost"
+
+
+class WorkerPool:
+    """Execute run payloads on worker slots; async interface."""
+
+    def __init__(
+        self,
+        slots: int,
+        mode: str = "process",
+        timeout: Optional[float] = None,
+    ) -> None:
+        if mode not in ("process", "thread"):
+            raise ValueError(f"unknown worker mode {mode!r}")
+        self.slots = max(1, slots)
+        self.mode = mode
+        self.timeout = timeout
+        self._procs: Optional[PoolManager] = None
+        self._threads: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        if mode == "process":
+            self._procs = PoolManager(self.slots)
+        else:
+            self._threads = concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.slots, thread_name_prefix="serve-worker"
+            )
+        #: Pool rebuilds triggered by timeouts (process mode).
+        self.timeouts = 0
+
+    async def run(
+        self, payload: Dict[str, Any], timeout: Optional[float] = None
+    ) -> Tuple[str, str, float]:
+        """Execute one run payload; returns ``(status, data, wall)``.
+
+        ``status`` is ``ok`` (data = canonical payload JSON), ``error``
+        (data = formatted traceback), ``timeout``, or ``lost`` (the
+        worker died underneath the run — pool breakage, not run code).
+        Never raises for a run failure.
+        """
+        per_timeout = timeout if timeout is not None else self.timeout
+        if self._procs is not None:
+            fut, gen = self._procs.submit(execute_runspec, payload)
+        else:
+            assert self._threads is not None
+            fut, gen = self._threads.submit(execute_runspec, payload), 0
+        wrapped = asyncio.wrap_future(fut)
+        try:
+            if per_timeout is not None:
+                return await asyncio.wait_for(wrapped, per_timeout)
+            return await wrapped
+        except asyncio.TimeoutError:
+            self.timeouts += 1
+            if not fut.cancel() and self._procs is not None:
+                # The worker is stuck mid-run: write the slot off; once
+                # every slot of this pool generation is gone, rebuild.
+                # (Idempotent under concurrent timeouts — PoolManager.)
+                if self._procs.write_off(gen):
+                    self._procs.rebuild(gen)
+            return (
+                OUTCOME_TIMEOUT,
+                f"timeout: exceeded {per_timeout}s",
+                per_timeout or 0.0,
+            )
+        except concurrent.futures.CancelledError:
+            return (OUTCOME_LOST, "worker pool retired mid-run", 0.0)
+        except Exception as exc:  # pool breakage, not run code
+            if self._procs is not None:
+                self._procs.rebuild(gen)
+            return (OUTCOME_LOST, f"worker died: {exc!r}", 0.0)
+
+    @property
+    def rebuilds(self) -> int:
+        """Worker-pool rebuilds performed so far (process mode)."""
+        return self._procs.rebuilds if self._procs is not None else 0
+
+    def shutdown(self) -> None:
+        """Tear every worker down (service stop)."""
+        if self._procs is not None:
+            self._procs.shutdown()
+        if self._threads is not None:
+            self._threads.shutdown(wait=False, cancel_futures=True)

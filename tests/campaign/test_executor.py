@@ -165,3 +165,127 @@ def test_event_stream_counts(tmp_path, jobs):
     ex.run(camp)
     assert events.count("start") == 4
     assert events.count("ok") == 4
+
+
+# ----------------------------------------------------------------------
+# Pool-rebuild idempotency (PoolManager): the rebuild-after-timeout path
+# must be safe when several drains share one executor concurrently.
+# ----------------------------------------------------------------------
+
+def test_pool_rebuild_is_idempotent_per_generation():
+    import os
+
+    from repro.campaign.executor import PoolManager
+
+    pm = PoolManager(jobs=2)
+    try:
+        fut, gen = pm.submit(os.getpid)
+        assert fut.result(timeout=30) > 0
+        # First observer tears the pool down; the second (same token)
+        # must be a no-op instead of killing the replacement.
+        assert pm.rebuild(gen) is True
+        assert pm.rebuild(gen) is False
+        assert pm.rebuilds == 1
+        # Write-offs against the retired generation are discarded.
+        assert pm.write_off(gen) is False
+        fut2, gen2 = pm.submit(os.getpid)
+        assert gen2 == gen + 1
+        assert fut2.result(timeout=30) > 0
+        assert pm.rebuild(gen) is False  # still stale after replacement
+        assert pm.rebuilds == 1
+    finally:
+        pm.shutdown()
+
+
+def test_pool_rebuild_concurrent_observers_single_teardown():
+    import os
+    import threading
+
+    from repro.campaign.executor import PoolManager
+
+    pm = PoolManager(jobs=1)
+    try:
+        fut, gen = pm.submit(os.getpid)
+        fut.result(timeout=30)
+        outcomes = []
+        barrier = threading.Barrier(6)
+
+        def observer():
+            barrier.wait()
+            outcomes.append(pm.rebuild(gen))
+
+        threads = [threading.Thread(target=observer) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert outcomes.count(True) == 1, "exactly one teardown"
+        assert pm.rebuilds == 1
+    finally:
+        pm.shutdown()
+
+
+def test_write_off_threshold_scoped_to_current_pool():
+    import os
+
+    from repro.campaign.executor import PoolManager
+
+    pm = PoolManager(jobs=2)
+    try:
+        _, gen = pm.submit(os.getpid)
+        assert pm.write_off(gen) is False  # 1 of 2 slots
+        assert pm.rebuild(gen) is True
+        _, gen2 = pm.submit(os.getpid)
+        # The fresh pool starts with a clean write-off ledger: one lost
+        # slot must not tip it over the (stale counter + 1) threshold.
+        assert pm.write_off(gen2) is False
+        assert pm.write_off(gen2) is True
+    finally:
+        pm.shutdown()
+
+
+def test_concurrent_campaigns_share_one_executor(tmp_path):
+    # Two campaigns drain through ONE executor at once; campaign A's
+    # hang forces a timeout write-off + pool rebuild mid-flight while
+    # campaign B keeps submitting.  Before PoolManager both drains
+    # could tear down/rebuild the same pool (duplicate executions of
+    # resubmitted runs), and a run cancelled by the *other* drain's
+    # teardown was silently dropped; now the rebuild is generation-
+    # guarded, external cancellations resubmit attempt-free, and both
+    # campaigns must finish with every non-hanging run OK exactly once.
+    import threading
+
+    ex = make_executor(
+        tmp_path, jobs=2, retries=3, timeout=0.5, store=None,
+    )
+    camp_a = CampaignSpec(
+        "a",
+        [stub("hang_run", seed=1)]
+        + [stub("ok_run", seed=s, timeout=30.0) for s in (2, 3)],
+    )
+    camp_b = CampaignSpec(
+        "b", [stub("ok_run", seed=s, timeout=30.0) for s in (10, 11, 12)]
+    )
+    results = {}
+
+    def drain(name, camp):
+        results[name] = ex.run(camp)
+
+    threads = [
+        threading.Thread(target=drain, args=("a", camp_a)),
+        threading.Thread(target=drain, args=("b", camp_b)),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    a, b = results["a"], results["b"]
+    assert len(a.ok) == 2 and len(a.failed) == 1  # only the hang fails
+    assert "timeout" in a.failed[0].error
+    assert len(b.ok) == 3 and not b.failed
+    # every OK run produced exactly one authoritative payload
+    for res, camp in ((a, camp_a), (b, camp_b)):
+        for spec in camp.runs:
+            if spec.experiment == "stub-ok_run":
+                assert json.loads(res.payloads[spec.run_id])["seed"] == spec.seed

@@ -1,0 +1,39 @@
+"""Stub runners for the serve tests (dotted-path referenced).
+
+``gate_run`` blocks until a release file appears, with a hard cap so a
+forgotten release can never wedge the interpreter at exit (worker
+threads are non-daemon).  Tests park it on a worker slot to hold jobs
+in RUNNING/QUEUED deterministically, then release it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+def gate_run(gate_dir: str, token: str = "release", seed: int = 0,
+             limit: float = 20.0) -> dict:
+    """Block until ``<gate_dir>/<token>`` exists (bounded), then return."""
+    path = os.path.join(gate_dir, token)
+    deadline = time.monotonic() + limit
+    while not os.path.exists(path):
+        if time.monotonic() > deadline:
+            raise RuntimeError(f"gate {path} never released")
+        time.sleep(0.01)
+    return {"seed": seed, "token": token}
+
+
+def counted_run(count_dir: str, seed: int = 0, value: float = 1.0) -> dict:
+    """Success that leaves one marker file per *execution*.
+
+    The marker count is the ground truth for the zero-duplicate-
+    execution assertions: journal ``executions`` says what the service
+    believes, the markers say what actually ran.
+    """
+    os.makedirs(count_dir, exist_ok=True)
+    marker = os.path.join(
+        count_dir, f"exec-{os.getpid()}-{time.monotonic_ns()}"
+    )
+    open(marker, "w").close()
+    return {"seed": seed, "value": value * 2 + seed}

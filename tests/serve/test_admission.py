@@ -1,0 +1,43 @@
+"""Admission control: bounded queues, drain mode, retry hints."""
+
+from repro.serve import AdmissionController
+
+
+def test_accepts_under_both_bounds():
+    ctl = AdmissionController(max_tenant_depth=4, max_total_depth=16)
+    decision = ctl.admit(tenant_depth=3, total_depth=10)
+    assert decision.ok
+    assert ctl.rejections == 0
+
+
+def test_tenant_bound_rejects_with_429():
+    ctl = AdmissionController(max_tenant_depth=4, max_total_depth=16)
+    decision = ctl.admit(tenant_depth=4, total_depth=5)
+    assert not decision.ok
+    assert decision.status == 429
+    assert decision.retry_after is not None
+    assert "tenant queue full" in decision.reason
+
+
+def test_total_bound_rejects_even_light_tenants():
+    ctl = AdmissionController(max_tenant_depth=4, max_total_depth=16)
+    decision = ctl.admit(tenant_depth=0, total_depth=16)
+    assert not decision.ok
+    assert decision.status == 429
+    assert "service-wide" in decision.reason
+
+
+def test_draining_rejects_everything_with_503():
+    ctl = AdmissionController(max_tenant_depth=4, max_total_depth=16)
+    ctl.draining = True
+    decision = ctl.admit(tenant_depth=0, total_depth=0)
+    assert not decision.ok
+    assert decision.status == 503
+
+
+def test_rejections_counted():
+    ctl = AdmissionController(max_tenant_depth=1, max_total_depth=1)
+    ctl.admit(tenant_depth=1, total_depth=1)
+    ctl.admit(tenant_depth=0, total_depth=1)
+    assert ctl.rejections == 2
+    assert ctl.snapshot()["rejections"] == 2

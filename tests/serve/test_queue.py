@@ -1,0 +1,174 @@
+"""The durable job queue: journaling, transitions, crash recovery."""
+
+import pytest
+
+from repro.campaign.spec import RunSpec
+from repro.serve import (
+    JOB_CANCELLED,
+    JOB_FAILED,
+    JOB_OK,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    Job,
+    JobQueue,
+    job_id_for,
+)
+
+
+def make_job(tenant="t", seed=0, tag="") -> Job:
+    spec = RunSpec(experiment="stub", params={"value": 1.0}, seed=seed)
+    return Job(
+        job_id=job_id_for(tenant, spec, tag),
+        tenant=tenant,
+        spec=spec.to_payload(),
+        cache_key="k" + str(seed),
+    )
+
+
+@pytest.fixture
+def queue(tmp_path):
+    q = JobQueue(tmp_path / "jobs.db")
+    yield q
+    q.close()
+
+
+class TestSubmission:
+    def test_submit_journals_and_assigns_seq(self, queue):
+        job, created = queue.submit(make_job(seed=1))
+        assert created and job.seq > 0
+        assert queue.get(job.job_id).state == JOB_QUEUED
+
+    def test_resubmit_is_idempotent(self, queue):
+        first, created1 = queue.submit(make_job(seed=1))
+        again, created2 = queue.submit(make_job(seed=1))
+        assert created1 and not created2
+        assert again.job_id == first.job_id
+        assert queue.depth() == 1
+
+    def test_tag_makes_a_deliberate_duplicate(self, queue):
+        queue.submit(make_job(seed=1))
+        _, created = queue.submit(make_job(seed=1, tag="rerun"))
+        assert created
+        assert queue.depth() == 2
+
+    def test_job_id_scoped_by_tenant(self):
+        spec = RunSpec(experiment="stub", params={}, seed=0)
+        assert job_id_for("a", spec) != job_id_for("b", spec)
+
+
+class TestTransitions:
+    def test_claim_bumps_attempt_and_execution_ledger(self, queue):
+        job, _ = queue.submit(make_job())
+        claimed = queue.claim(job.job_id, epoch=3)
+        assert claimed.state == JOB_RUNNING
+        assert claimed.attempt == 1
+        assert claimed.executions == 1
+        assert claimed.started_epoch == 3
+
+    def test_claim_refuses_non_queued(self, queue):
+        job, _ = queue.submit(make_job())
+        queue.claim(job.job_id, epoch=0)
+        assert queue.claim(job.job_id, epoch=0) is None  # already running
+        queue.cancel(job.job_id, epoch=0)
+        assert queue.claim(job.job_id, epoch=0) is None  # terminal
+
+    def test_complete_stores_result(self, queue):
+        job, _ = queue.submit(make_job())
+        queue.claim(job.job_id, epoch=0)
+        done = queue.complete(job.job_id, b'{"x": 1}', epoch=2)
+        assert done.state == JOB_OK
+        assert done.result == b'{"x": 1}'
+        assert done.finished_epoch == 2
+
+    def test_cache_hit_completes_straight_from_queued(self, queue):
+        job, _ = queue.submit(make_job())
+        done = queue.complete(job.job_id, b"{}", epoch=0, cache_hit=True)
+        assert done.state == JOB_OK
+        assert done.cache_hit
+        assert done.executions == 0  # never claimed, never executed
+
+    def test_late_result_never_overwrites_cancel(self, queue):
+        """Cancel-mid-run: the journal turns terminal immediately; the
+        in-flight worker result is discarded when it lands."""
+        job, _ = queue.submit(make_job())
+        queue.claim(job.job_id, epoch=0)
+        assert queue.cancel(job.job_id, epoch=1).state == JOB_CANCELLED
+        assert queue.complete(job.job_id, b"{}", epoch=1) is None
+        final = queue.get(job.job_id)
+        assert final.state == JOB_CANCELLED
+        assert final.result is None
+
+    def test_requeue_keeps_error_and_attempt(self, queue):
+        job, _ = queue.submit(make_job())
+        queue.claim(job.job_id, epoch=0)
+        back = queue.requeue(job.job_id, "boom")
+        assert back.state == JOB_QUEUED
+        assert back.error == "boom"
+        assert back.attempt == 1  # burned attempt survives the requeue
+
+    def test_fail_is_terminal(self, queue):
+        job, _ = queue.submit(make_job())
+        queue.claim(job.job_id, epoch=0)
+        assert queue.fail(job.job_id, "boom", epoch=4).state == JOB_FAILED
+        assert queue.cancel(job.job_id, epoch=4) is None
+
+
+class TestCrashRecovery:
+    def test_running_jobs_requeued_on_reopen(self, queue, tmp_path):
+        done_job, _ = queue.submit(make_job(seed=1))
+        queue.claim(done_job.job_id, epoch=0)
+        queue.complete(done_job.job_id, b'{"done": 1}', epoch=0)
+        crashed, _ = queue.submit(make_job(seed=2))
+        queue.claim(crashed.job_id, epoch=0)
+        waiting, _ = queue.submit(make_job(seed=3))
+        queue.close()  # kill -9: nothing else written
+
+        reopened = JobQueue(tmp_path / "jobs.db")
+        try:
+            recovered = reopened.recover()
+            assert [j.job_id for j in recovered] == [crashed.job_id]
+            row = reopened.get(crashed.job_id)
+            assert row.state == JOB_QUEUED
+            assert row.recovered
+            assert row.attempt == 1  # the crash was not the run's fault
+            # Terminal and queued rows come back untouched.
+            assert reopened.get(done_job.job_id).result == b'{"done": 1}'
+            assert not reopened.get(done_job.job_id).recovered
+            assert reopened.get(waiting.job_id).state == JOB_QUEUED
+        finally:
+            reopened.close()
+
+    def test_recover_on_clean_journal_is_a_noop(self, queue):
+        job, _ = queue.submit(make_job())
+        assert queue.recover() == []
+        assert queue.get(job.job_id).state == JOB_QUEUED
+
+
+class TestQueries:
+    def test_depth_counts_only_queued(self, queue):
+        a, _ = queue.submit(make_job(seed=1))
+        b, _ = queue.submit(make_job(seed=2))
+        queue.submit(make_job(tenant="other", seed=1))
+        queue.claim(a.job_id, epoch=0)
+        assert queue.depth() == 2
+        assert queue.depth("t") == 1
+        assert queue.depth("other") == 1
+
+    def test_queued_is_fifo_per_submission_order(self, queue):
+        ids = [queue.submit(make_job(seed=i))[0].job_id for i in range(3)]
+        assert [j.job_id for j in queue.queued()] == ids
+
+    def test_counts_and_pending(self, queue):
+        a, _ = queue.submit(make_job(seed=1))
+        b, _ = queue.submit(make_job(seed=2))
+        queue.claim(a.job_id, epoch=0)
+        assert queue.counts() == {JOB_QUEUED: 1, JOB_RUNNING: 1}
+        assert queue.pending() == 2
+        queue.complete(a.job_id, b"{}", epoch=0)
+        queue.cancel(b.job_id, epoch=0)
+        assert queue.pending() == 0
+
+    def test_tenants_listing(self, queue):
+        queue.submit(make_job(tenant="zeta"))
+        queue.submit(make_job(tenant="alpha"))
+        assert queue.tenants() == ["alpha", "zeta"]

@@ -1,0 +1,328 @@
+"""End-to-end service behaviour (in-process, virtual clock, no HTTP).
+
+Everything here runs on one event loop and one thread: the tests call
+the service object directly and poll the journal, which keeps the
+scheduling-relevant assertions deterministic.  The HTTP surface is
+exercised separately in test_http.py.
+"""
+
+import asyncio
+import os
+
+import pytest
+
+from repro.campaign.spec import RunSpec
+from repro.serve import CampaignService, JOB_CANCELLED, JOB_FAILED, JOB_OK
+
+from tests.serve.conftest import serve_config, wait_until
+
+STUBS = "tests.serve.stubs"
+CAMPAIGN_STUBS = "tests.campaign.stubs"
+
+
+def ok_spec(seed=0, value=1.0) -> RunSpec:
+    return RunSpec(
+        experiment="stub",
+        runner=f"{CAMPAIGN_STUBS}:ok_run",
+        params={"value": value},
+        seed=seed,
+    )
+
+
+def crash_spec(seed=0) -> RunSpec:
+    return RunSpec(
+        experiment="stub", runner=f"{CAMPAIGN_STUBS}:crash_run", seed=seed
+    )
+
+
+def gate_spec(gate_dir, token, seed=0) -> RunSpec:
+    return RunSpec(
+        experiment="stub",
+        runner=f"{STUBS}:gate_run",
+        params={"gate_dir": str(gate_dir), "token": token},
+        seed=seed,
+    )
+
+
+def counted_spec(count_dir, seed=0) -> RunSpec:
+    return RunSpec(
+        experiment="stub",
+        runner=f"{STUBS}:counted_run",
+        params={"count_dir": str(count_dir)},
+        seed=seed,
+    )
+
+
+def submit_one(svc: CampaignService, tenant: str, spec: RunSpec) -> str:
+    accepted, rejection = svc.submit(tenant, [(spec, "")])
+    assert rejection is None, rejection
+    return accepted[0].job_id
+
+
+async def wait_terminal(svc: CampaignService, job_id: str, timeout=15.0):
+    await wait_until(lambda: svc.queue.get(job_id).terminal, timeout=timeout)
+    return svc.queue.get(job_id)
+
+
+def test_fair_share_dispatch_order_follows_priorities(tmp_path):
+    """With priorities 6 vs 4 and one worker slot, the dispatcher hands
+    out slots 6:4 — the balancer's priorities measurably shift worker
+    slots toward the favored tenant."""
+
+    async def scenario():
+        svc = CampaignService(serve_config(tmp_path, workers=1))
+        order = []
+        orig_charge = svc.scheduler.charge
+        svc.scheduler.charge = lambda tenant: (
+            order.append(tenant),
+            orig_charge(tenant),
+        )[1]
+        await svc.start()
+        try:
+            svc.registry.get("fast").priority = 6
+            svc.registry.get("slow").priority = 4
+            for seed in range(12):
+                submit_one(svc, "fast", ok_spec(seed=seed, value=2.0))
+                submit_one(svc, "slow", ok_spec(seed=seed, value=3.0))
+            await wait_until(lambda: svc.queue.pending() == 0)
+            assert order[:10].count("fast") == 6
+            assert order[:10].count("slow") == 4
+        finally:
+            await svc.stop()
+
+    asyncio.run(scenario())
+
+
+def test_cancel_mid_run_discards_late_result(tmp_path):
+    async def scenario():
+        gate_dir = tmp_path / "gates"
+        gate_dir.mkdir()
+        svc = CampaignService(serve_config(tmp_path / "svc", workers=1))
+        await svc.start()
+        try:
+            jid = submit_one(svc, "t", gate_spec(gate_dir, "g1"))
+            await wait_until(
+                lambda: svc.queue.get(jid).state == "RUNNING"
+            )
+            cancelled = svc.cancel(jid)
+            assert cancelled.state == JOB_CANCELLED
+            # Release the worker; its late result must be discarded.
+            (gate_dir / "g1").touch()
+            follow_up = submit_one(svc, "t", ok_spec(seed=99))
+            done = await wait_terminal(svc, follow_up)
+            assert done.state == JOB_OK  # the slot came back
+            final = svc.queue.get(jid)
+            assert final.state == JOB_CANCELLED
+            assert final.result is None
+            assert svc.registry.get("t").cancelled == 1
+        finally:
+            await svc.stop()
+
+    asyncio.run(scenario())
+
+
+def test_cross_tenant_cache_sharing(tmp_path):
+    """Identical specs from different tenants share one execution: the
+    cache key has no tenant component, so tenant b's jobs complete from
+    tenant a's results without touching a worker."""
+
+    async def scenario():
+        count_dir = tmp_path / "counts"
+        svc = CampaignService(serve_config(tmp_path / "svc", workers=1))
+        await svc.start()
+        try:
+            a_ids = [
+                submit_one(svc, "a", counted_spec(count_dir, seed=s))
+                for s in (1, 2)
+            ]
+            for jid in a_ids:
+                assert (await wait_terminal(svc, jid)).state == JOB_OK
+            executed = len(os.listdir(count_dir))
+            assert executed == 2
+
+            b_ids = [
+                submit_one(svc, "b", counted_spec(count_dir, seed=s))
+                for s in (1, 2)
+            ]
+            b_jobs = [await wait_terminal(svc, jid) for jid in b_ids]
+            assert all(j.state == JOB_OK for j in b_jobs)
+            assert all(j.cache_hit for j in b_jobs)
+            assert all(j.executions == 0 for j in b_jobs)
+            # Byte-identical results, zero additional executions.
+            for a_jid, b_job in zip(a_ids, b_jobs):
+                assert b_job.result == svc.queue.get(a_jid).result
+            assert len(os.listdir(count_dir)) == executed
+            assert svc.registry.get("b").cache_hits == 2
+        finally:
+            await svc.stop()
+
+    asyncio.run(scenario())
+
+
+def test_crash_restart_recovers_journal_without_duplicate_executions(tmp_path):
+    """Kill-9 semantics: a new service on the same root re-queues the
+    RUNNING row, serves completed rows from the journal, answers queued
+    duplicates from the cache — and the execution-marker count proves
+    no cached work ran twice."""
+    root = tmp_path / "svc"
+    gate_dir = tmp_path / "gates"
+    gate_dir.mkdir()
+    count_dir = tmp_path / "counts"
+    ids = {}
+
+    async def phase1():
+        svc = CampaignService(serve_config(root, workers=1))
+        await svc.start()
+        ids["a1"] = submit_one(svc, "a", counted_spec(count_dir, seed=1))
+        ids["a2"] = submit_one(svc, "a", counted_spec(count_dir, seed=2))
+        await wait_terminal(svc, ids["a1"])
+        await wait_terminal(svc, ids["a2"])
+        ids["gate"] = submit_one(svc, "c", gate_spec(gate_dir, "g1"))
+        await wait_until(
+            lambda: svc.queue.get(ids["gate"]).state == "RUNNING"
+        )
+        # Same spec as a1, different tenant: queued behind the gate.
+        ids["b1"] = submit_one(svc, "b", counted_spec(count_dir, seed=1))
+        assert svc.queue.get(ids["b1"]).state == "QUEUED"
+        svc.abandon()  # kill -9: no drain, no journal cleanup
+
+    asyncio.run(phase1())
+    (gate_dir / "g1").touch()  # let the orphaned worker thread exit
+    markers_before_restart = len(os.listdir(count_dir))
+    assert markers_before_restart == 2
+
+    async def phase2():
+        svc = CampaignService(serve_config(root, workers=1))
+        await svc.start()
+        try:
+            # Recovery re-queued exactly the mid-flight job.
+            assert [j.job_id for j in svc.recovered_jobs] == [ids["gate"]]
+            for key in ("gate", "b1"):
+                job = await wait_terminal(svc, ids[key])
+                assert job.state == JOB_OK, job.error
+
+            gate = svc.queue.get(ids["gate"])
+            assert gate.recovered
+            assert gate.executions == 2  # pre-crash try + post-restart run
+
+            b1 = svc.queue.get(ids["b1"])
+            assert b1.executions == 0  # answered from a1's cached bytes
+            assert b1.cache_hit
+            assert b1.result == svc.queue.get(ids["a1"]).result
+
+            # Pre-crash terminal rows are served as-is, not re-run.
+            a1 = svc.queue.get(ids["a1"])
+            assert a1.executions == 1 and not a1.recovered
+            assert len(os.listdir(count_dir)) == markers_before_restart
+            assert svc.metrics()["recovered_jobs"] == 1
+        finally:
+            await svc.stop()
+
+    asyncio.run(phase2())
+
+
+def test_backpressure_bounds_per_tenant_and_total(tmp_path):
+    async def scenario():
+        gate_dir = tmp_path / "gates"
+        gate_dir.mkdir()
+        svc = CampaignService(
+            serve_config(
+                tmp_path / "svc",
+                workers=1,
+                max_tenant_depth=2,
+                max_total_depth=3,
+            )
+        )
+        await svc.start()
+        try:
+            gate_id = submit_one(svc, "g", gate_spec(gate_dir, "g1"))
+            await wait_until(
+                lambda: svc.queue.get(gate_id).state == "RUNNING"
+            )
+            # Tenant bound: the third queued job is rejected.
+            specs = [(ok_spec(seed=s), "") for s in range(3)]
+            accepted, rejection = svc.submit("x", specs)
+            assert len(accepted) == 2
+            assert rejection is not None and rejection.status == 429
+            assert "tenant queue full" in rejection.reason
+            # Total bound: another tenant hits the service-wide cap.
+            accepted, rejection = svc.submit(
+                "y", [(ok_spec(seed=s, value=7.0), "") for s in range(2)]
+            )
+            assert len(accepted) == 1
+            assert rejection is not None and rejection.status == 429
+            assert "service-wide" in rejection.reason
+            assert svc.admission.rejections == 2
+            # Backpressure clears once the queue drains.
+            (gate_dir / "g1").touch()
+            await wait_until(lambda: svc.queue.pending() == 0)
+            accepted, rejection = svc.submit(
+                "x", [(ok_spec(seed=50), "")]
+            )
+            assert rejection is None and len(accepted) == 1
+            await wait_terminal(svc, accepted[0].job_id)
+        finally:
+            await svc.stop()
+
+    asyncio.run(scenario())
+
+
+def test_failed_job_retries_then_fails_terminally(tmp_path):
+    async def scenario():
+        svc = CampaignService(
+            serve_config(tmp_path, workers=1, retries=1)
+        )
+        await svc.start()
+        try:
+            jid = submit_one(svc, "t", crash_spec(seed=5))
+            job = await wait_terminal(svc, jid)
+            assert job.state == JOB_FAILED
+            assert job.executions == 2  # first try + one retry
+            assert "injected crash" in job.error
+            assert svc.registry.get("t").failed == 1
+        finally:
+            await svc.stop()
+
+    asyncio.run(scenario())
+
+
+def test_drain_finishes_accepted_work_then_rejects(tmp_path):
+    async def scenario():
+        svc = CampaignService(serve_config(tmp_path, workers=1))
+        await svc.start()
+        try:
+            jids = [
+                submit_one(svc, "t", ok_spec(seed=s)) for s in range(4)
+            ]
+            assert await svc.drain(timeout=15.0)
+            assert all(svc.queue.get(j).state == JOB_OK for j in jids)
+            accepted, rejection = svc.submit("t", [(ok_spec(seed=9), "")])
+            assert accepted == []
+            assert rejection is not None and rejection.status == 503
+        finally:
+            await svc.stop()
+
+    asyncio.run(scenario())
+
+
+def test_epoch_close_feeds_tenant_demand_to_balancer(tmp_path):
+    """One tick = one detector iteration: a tenant busy since the last
+    tick closes a util-1.0 epoch, an idle one closes util-0.0."""
+
+    async def scenario():
+        svc = CampaignService(serve_config(tmp_path, workers=1))
+        await svc.start()
+        try:
+            jid = submit_one(svc, "busy", ok_spec(seed=1))
+            svc.registry.get("idle")  # known but never submits
+            await wait_terminal(svc, jid)
+            svc.clock.advance()
+            assert svc.registry.get("busy").stats.last_util == 1.0
+            assert svc.registry.get("idle").stats.last_util == 0.0
+            assert svc.registry.get("busy").priority == 6
+            assert svc.registry.get("idle").priority == 4
+            assert svc.balancer.epoch == 1
+        finally:
+            await svc.stop()
+
+    asyncio.run(scenario())

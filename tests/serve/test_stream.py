@@ -1,0 +1,113 @@
+"""Event broker and NDJSON result streaming."""
+
+import asyncio
+import json
+
+from repro.serve.state import JOB_OK, JOB_QUEUED, Job
+from repro.serve.stream import EventBroker, ndjson_line, stream_jobs
+
+
+def make_job(jid: str, state: str = JOB_QUEUED) -> Job:
+    return Job(job_id=jid, tenant="t", spec={"experiment": "stub"}, state=state)
+
+
+def test_ndjson_line_is_compact_and_terminated():
+    line = ndjson_line({"b": 1, "a": 2})
+    assert line == b'{"a":2,"b":1}\n'
+
+
+def test_broker_wait_wakes_on_publish():
+    async def scenario():
+        broker = EventBroker()
+        seen = broker.version
+        waiter = asyncio.ensure_future(broker.wait(seen))
+        await asyncio.sleep(0)  # let the waiter block
+        broker.publish()
+        assert await asyncio.wait_for(waiter, timeout=5) == seen + 1
+
+    asyncio.run(scenario())
+
+
+def test_broker_wait_returns_immediately_when_behind():
+    async def scenario():
+        broker = EventBroker()
+        broker.publish()
+        await asyncio.sleep(0)
+        # A follower that has seen version 0 must not block.
+        assert await asyncio.wait_for(broker.wait(0), timeout=5) >= 1
+
+    asyncio.run(scenario())
+
+
+def test_stream_emits_terminal_jobs_immediately():
+    async def scenario():
+        jobs = {
+            "a": make_job("a", JOB_OK),
+            "b": make_job("b", JOB_OK),
+        }
+        broker = EventBroker()
+        lines = [
+            json.loads(line)
+            async for line in stream_jobs(
+                ["a", "b"], jobs.get, broker, with_results=False
+            )
+        ]
+        assert [rec["job_id"] for rec in lines] == ["a", "b"]
+        assert all(rec["state"] == "OK" for rec in lines)
+
+    asyncio.run(scenario())
+
+
+def test_stream_reports_unknown_ids_instead_of_hanging():
+    async def scenario():
+        broker = EventBroker()
+        lines = [
+            json.loads(line)
+            async for line in stream_jobs(["nope"], lambda _jid: None, broker)
+        ]
+        assert lines == [{"job_id": "nope", "state": "UNKNOWN"}]
+
+    asyncio.run(scenario())
+
+
+def test_stream_follows_jobs_to_completion():
+    async def scenario():
+        jobs = {"a": make_job("a", JOB_OK), "b": make_job("b", JOB_QUEUED)}
+        broker = EventBroker()
+        received = []
+
+        async def consume():
+            async for line in stream_jobs(
+                ["a", "b"], jobs.get, broker, with_results=False
+            ):
+                received.append(json.loads(line))
+
+        consumer = asyncio.ensure_future(consume())
+        await asyncio.sleep(0.01)
+        assert [rec["job_id"] for rec in received] == ["a"]  # b still queued
+        jobs["b"] = make_job("b", JOB_OK)
+        broker.publish()
+        await asyncio.wait_for(consumer, timeout=5)
+        assert [rec["job_id"] for rec in received] == ["a", "b"]
+
+    asyncio.run(scenario())
+
+
+def test_stream_catches_completion_during_initial_sweep():
+    """A job completing between the stream's snapshot and its first
+    wait() must not be missed (the version is snapshotted before the
+    sweep, so the change is visible to the first wait)."""
+
+    async def scenario():
+        jobs = {"a": make_job("a", JOB_QUEUED)}
+        broker = EventBroker()
+
+        gen = stream_jobs(["a"], jobs.get, broker, with_results=False)
+        # Nothing emitted yet; complete the job and publish while the
+        # stream hasn't started waiting.
+        jobs["a"] = make_job("a", JOB_OK)
+        broker.publish()
+        line = await asyncio.wait_for(gen.__anext__(), timeout=5)
+        assert json.loads(line)["state"] == "OK"
+
+    asyncio.run(scenario())
