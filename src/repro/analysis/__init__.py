@@ -1,4 +1,5 @@
-"""Analysis utilities: metrics, table formatting, model calibration."""
+"""Analysis utilities: metrics, table formatting, model calibration,
+convergence-time extraction."""
 
 from repro.analysis.metrics import (
     speedup,
@@ -7,6 +8,16 @@ from repro.analysis.metrics import (
     critical_path_bound,
 )
 from repro.analysis.tables import format_characterization_table, format_comparison
+from repro.analysis.convergence import (
+    DEFAULT_EPS,
+    ConvergenceMetrics,
+    EpochSample,
+    auto_eps,
+    convergence_from_result,
+    convergence_metrics,
+    epoch_samples,
+    spread_floor,
+)
 
 __all__ = [
     "speedup",
@@ -15,4 +26,12 @@ __all__ = [
     "critical_path_bound",
     "format_characterization_table",
     "format_comparison",
+    "DEFAULT_EPS",
+    "ConvergenceMetrics",
+    "EpochSample",
+    "auto_eps",
+    "convergence_from_result",
+    "convergence_metrics",
+    "epoch_samples",
+    "spread_floor",
 ]

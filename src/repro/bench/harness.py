@@ -41,6 +41,7 @@ from repro.bench.scenarios import (
     DEFAULT_STORM_EVENTS,
     DEFAULT_WIDE_CHAINS,
     DEFAULT_WIDE_NODES,
+    DEFAULT_SYNTH_RANKS,
     cluster_metbench,
     cluster_metbench_sharded,
     event_storm_chain,
@@ -49,6 +50,8 @@ from repro.bench.scenarios import (
     event_storm_wide_sharded,
     serve_throughput,
     serve_throughput_warm,
+    synth_convergence,
+    synth_scatter,
 )
 
 #: Bump on any incompatible change to the report layout.  (Additive
@@ -77,6 +80,8 @@ SCENARIO_NAMES = (
     "cluster_metbench_16",
     "cluster_metbench_64",
     "cluster_metbench_64_sharded",
+    "synth_scatter_64",
+    "synth_convergence_64",
     "serve_throughput_1w",
     "serve_throughput_4w",
     "serve_throughput_warm",
@@ -271,6 +276,25 @@ def _entry_spec(
             lambda: cluster_metbench(n_nodes=nodes, iterations=2),
             {"nodes": nodes, "iterations": 2, "placements": "block+gang"},
         )
+    if name == "synth_scatter_64":
+        return (
+            lambda: synth_scatter(DEFAULT_SYNTH_RANKS, 2.0, 5),
+            {
+                "ranks": DEFAULT_SYNTH_RANKS,
+                "imbalance": 2.0,
+                "iterations": 5,
+                "scheduler": "adaptive",
+            },
+        )
+    if name == "synth_convergence_64":
+        return (
+            lambda: synth_convergence(DEFAULT_SYNTH_RANKS, 12),
+            {
+                "ranks": DEFAULT_SYNTH_RANKS,
+                "iterations": 12,
+                "scheduler": "adaptive",
+            },
+        )
     if name.startswith("serve_throughput"):
         if name == "serve_throughput_warm":
             # The factory does the cold cache fill here, outside the
@@ -329,6 +353,8 @@ def _plan(
         "cluster_metbench_16",
         "cluster_metbench_64",
         "cluster_metbench_64_sharded",
+        "synth_scatter_64",
+        "synth_convergence_64",
     ):
         if wanted(name):
             plan.append((name, cluster_rounds))

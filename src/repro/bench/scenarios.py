@@ -217,6 +217,64 @@ def event_storm_wide_sharded(
 
 
 # ----------------------------------------------------------------------
+# Synthetic-generator scenarios (repro.workloads.synth)
+# ----------------------------------------------------------------------
+
+#: Rank count of the synth scenarios: the 16-chip machine (64 logical
+#: CPUs) the convergence goldens also use.
+DEFAULT_SYNTH_RANKS = 64
+
+
+def synth_scatter(
+    ranks: int = DEFAULT_SYNTH_RANKS,
+    imbalance: float = 2.0,
+    iterations: int = 5,
+) -> int:
+    """A 64-rank :class:`~repro.workloads.synth.SyntheticScatter` run
+    under the Adaptive heuristic; returns events processed.
+
+    Exercises the full single-kernel stack at one-rank-per-CPU scale:
+    detector iteration closes, heuristic decisions and POWER5 rate
+    recomputes across 16 chips, with the exact-imbalance generator
+    providing a deterministic non-trivial load distribution.
+    """
+    from repro.experiments.common import run_experiment
+    from repro.workloads.synth import SyntheticScatter
+
+    workload = SyntheticScatter(
+        imbalance=imbalance, ranks=ranks, iterations=iterations
+    )
+    result = run_experiment(
+        workload, "adaptive", topology=workload.topology(), keep_trace=True
+    )
+    assert result.kernel is not None
+    return result.kernel.sim.events_processed
+
+
+def synth_convergence(
+    ranks: int = DEFAULT_SYNTH_RANKS, iterations: int = 12
+) -> int:
+    """The step-change convergence probe (with reversal) under the
+    Adaptive heuristic; returns events processed.
+
+    The detector thaws and rebalances twice per run, so this measures
+    the behaviour-change path — history resets, re-adjustment rounds,
+    freeze — that the steady-state scenarios never touch.
+    """
+    from repro.experiments.common import run_experiment
+    from repro.workloads.synth import SyntheticConvergence
+
+    workload = SyntheticConvergence(
+        ranks=ranks, iterations=iterations, revert_at=(3 * iterations) // 4
+    )
+    result = run_experiment(
+        workload, "adaptive", topology=workload.topology(), keep_trace=True
+    )
+    assert result.kernel is not None
+    return result.kernel.sim.events_processed
+
+
+# ----------------------------------------------------------------------
 # Service-layer scenarios (repro.serve)
 # ----------------------------------------------------------------------
 

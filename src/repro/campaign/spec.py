@@ -189,7 +189,16 @@ QUICK_PARAMS: Dict[str, Dict[str, Any]] = {
     "ablation_priority_range": {"iterations": 8},
     "ablation_nice": {"iterations": 8},
     "extrinsic": {"iterations": 8},
+    "synth_scatter": {"iterations": 3, "ranks": 4},
+    "synth_convergence": {"iterations": 8, "ranks": 8},
+    "synth_sweep": {"iterations": 2, "ranks": [4, 16]},
+    "synth_offload": {"iterations": 2, "messages": 4},
+    "synth_local_bad": {"iterations": 3, "ranks": 4},
 }
+
+#: The (imbalance x rank-count) grid of the ``synth-sweep`` preset.
+SWEEP_IMBALANCES = (1.0, 1.5, 2.0, 4.0)
+SWEEP_RANKS = (4, 16, 64)
 
 
 def _all_experiment_ids() -> List[str]:
@@ -204,7 +213,11 @@ def builtin_campaign(name: str) -> CampaignSpec:
     * ``paper-full`` — every registered experiment at full paper size
       (regenerates tables I-VI, figs 1-6, and all ablations);
     * ``paper-quick`` — the same matrix with reduced iteration counts;
-    * ``smoke`` — two fast experiments, used by CI.
+    * ``smoke`` — two fast experiments, used by CI;
+    * ``synth-sweep`` — ``synth_scatter`` over the feasible
+      (imbalance x rank-count) grid, one cached run per cell;
+    * ``synth-convergence`` — step-change reaction time (with
+      reversal) at 16 and 64 ranks.
     """
     if name == "paper-full":
         return expand_matrix(
@@ -225,12 +238,43 @@ def builtin_campaign(name: str) -> CampaignSpec:
             ["table1", "fig1"],
             description="2-run CI smoke campaign",
         )
+    if name == "synth-sweep":
+        from repro.workloads.synth import unbalanced_sweep
+
+        return CampaignSpec(
+            name="synth-sweep",
+            runs=[
+                RunSpec(experiment="synth_scatter", params=dict(cell))
+                for cell in unbalanced_sweep(SWEEP_IMBALANCES, SWEEP_RANKS)
+            ],
+            description=(
+                "synthetic_scatter over the feasible imbalance x ranks "
+                "grid, one cached run per cell"
+            ),
+        )
+    if name == "synth-convergence":
+        return expand_matrix(
+            "synth-convergence",
+            ["synth_convergence"],
+            grid={"ranks": [16, 64]},
+            params={"revert_at": 9},
+            description=(
+                "step-change reaction time (uniform vs adaptive, with "
+                "reversal) at 16 and 64 ranks"
+            ),
+        )
     known = ", ".join(sorted(BUILTIN_CAMPAIGNS))
     raise KeyError(f"unknown campaign {name!r}; built-ins: {known}")
 
 
 #: Names :func:`builtin_campaign` accepts.
-BUILTIN_CAMPAIGNS = ("paper-full", "paper-quick", "smoke")
+BUILTIN_CAMPAIGNS = (
+    "paper-full",
+    "paper-quick",
+    "smoke",
+    "synth-sweep",
+    "synth-convergence",
+)
 
 
 # ----------------------------------------------------------------------

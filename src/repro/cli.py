@@ -16,6 +16,10 @@ Subcommands:
 * ``bench``                     — measure engine throughput and paper
   suite wall cost, write ``BENCH_<label>.json``, diff against the
   previous report (see :mod:`repro.bench`),
+* ``synth scatter|sweep|convergence`` — parameterized imbalance
+  generators: exact-imbalance scatter points, imbalance x ranks
+  sweeps, and step-change convergence timing (see
+  :mod:`repro.workloads.synth` / :mod:`repro.analysis.convergence`),
 * ``serve``                     — run the multi-tenant campaign
   service: durable job queue + fair-share scheduling over HTTP/JSON
   (see :mod:`repro.serve`; ``--smoke`` runs the bounded CI self-test),
@@ -30,6 +34,8 @@ Examples::
     repro-hpcsched campaign run paper-full --jobs 4
     repro-hpcsched campaign status campaigns/paper-full
     repro-hpcsched validate --fuzz 50 --seed 0
+    repro-hpcsched synth sweep --imbalances 1.5,4.0 --ranks 16,64
+    repro-hpcsched synth convergence --ranks 64 --revert-at 9
     repro-hpcsched bench --quick --label ci
     repro-hpcsched serve --root serve-data --port 8642 --workers 4
     repro-hpcsched submit table3 --tenant alice --seeds 0,1
@@ -158,6 +164,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="keep fuzzing past the first divergence",
     )
     val.add_argument(
+        "--pool", choices=["engine", "synth"], default="engine",
+        help="scenario pool: the generic SPMD fuzzer (engine) or "
+        "shapes drawn from the synth workload generators (synth)",
+    )
+    val.add_argument(
         "--sharded-parity", action="store_true",
         help="instead of the differential fuzz, assert serial-vs-"
         "sharded cluster parity bit-for-bit (fixed cluster_metbench "
@@ -259,6 +270,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="emit one machine-readable JSON object instead of the "
         "human-readable summary",
     )
+    _add_synth_parser(sub)
     _add_serve_parser(sub)
     _add_submit_parser(sub)
 
@@ -281,6 +293,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _bench(args)
     if args.command == "cluster":
         return _cluster(args)
+    if args.command == "synth":
+        return _synth(args)
     if args.command == "serve":
         return _serve(args)
     if args.command == "submit":
@@ -339,8 +353,9 @@ def _add_campaign_parser(sub) -> None:
         "name",
         nargs="?",
         default="paper-full",
-        help="built-in campaign (paper-full, paper-quick, smoke) — "
-        "ignored when --experiments is given",
+        help="built-in campaign (paper-full, paper-quick, smoke, "
+        "synth-sweep, synth-convergence) — ignored when --experiments "
+        "is given",
     )
     crun.add_argument(
         "--experiments",
@@ -390,6 +405,209 @@ def _add_campaign_parser(sub) -> None:
             "target", nargs="?", default="paper-full",
             help="campaign directory or built-in name",
         )
+
+
+def _add_synth_parser(sub) -> None:
+    """Attach the ``synth`` subcommand tree."""
+    syn = sub.add_parser(
+        "synth",
+        help="parameterized imbalance generators: scatter points, "
+        "imbalance x ranks sweeps, step-change convergence timing",
+    )
+    ssub = syn.add_subparsers(dest="synth_command")
+
+    sca = ssub.add_parser(
+        "scatter",
+        help="one synthetic_scatter point under each scheduler",
+    )
+    sca.add_argument(
+        "--imbalance", type=float, default=2.0,
+        help="target imbalance factor max/mean (default 2.0)",
+    )
+    sca.add_argument(
+        "--ranks", type=int, default=8,
+        help="MPI ranks, one per logical CPU (default 8)",
+    )
+    sca.add_argument("--iterations", type=int, default=10)
+    sca.add_argument("--seed", type=int, default=0)
+    sca.add_argument(
+        "--placement", choices=["paired", "bad", "shuffled"],
+        default="paired",
+        help="how loads map onto SMT cores (default paired: "
+        "heavy-with-light, the regime priorities can fix)",
+    )
+
+    swe = ssub.add_parser(
+        "sweep",
+        help="synthetic_scatter over an imbalance x ranks grid",
+    )
+    swe.add_argument(
+        "--imbalances", default="1.0,1.5,2.0,4.0",
+        help="comma-separated target imbalance factors "
+        "(default 1.0,1.5,2.0,4.0)",
+    )
+    swe.add_argument(
+        "--ranks", default="4,16,64",
+        help="comma-separated rank counts (default 4,16,64); "
+        "infeasible cells (imbalance > ranks) are dropped",
+    )
+    swe.add_argument("--iterations", type=int, default=5)
+    swe.add_argument("--seed", type=int, default=0)
+
+    con = ssub.add_parser(
+        "convergence",
+        help="step-change reaction time: epochs/sim-seconds until the "
+        "detector's measured imbalance recovers after a load swap",
+    )
+    con.add_argument("--ranks", type=int, default=16)
+    con.add_argument(
+        "--imbalance", type=float, default=1.5,
+        help="SMT-pair imbalance factor in [1, 2] (default 1.5)",
+    )
+    con.add_argument("--iterations", type=int, default=12)
+    con.add_argument(
+        "--step-at", type=int, default=None,
+        help="0-based iteration of the load swap (default: midpoint)",
+    )
+    con.add_argument(
+        "--revert-at", type=int, default=None,
+        help="swap back at this iteration (measures re-convergence)",
+    )
+    con.add_argument(
+        "--eps", type=float, default=None,
+        help="convergence threshold in utilization points (default: "
+        "auto from the pre-step steady state)",
+    )
+
+    for p in (sca, swe, con):
+        p.add_argument(
+            "--schedulers", default=None,
+            help="comma-separated scheduler list (default: "
+            "cfs,uniform,adaptive; convergence: uniform,adaptive)",
+        )
+        p.add_argument(
+            "--json", action="store_true",
+            help="emit one machine-readable JSON object",
+        )
+
+
+def _synth(args) -> int:
+    """``synth``: run the imbalance-generator experiments."""
+    import json
+
+    from repro.campaign.spec import summarize_result
+    from repro.experiments.synth import (
+        run_synth_convergence,
+        run_synth_scatter,
+        run_synth_sweep,
+    )
+
+    def scheds(default):
+        if args.schedulers is None:
+            return default
+        return tuple(s.strip() for s in args.schedulers.split(",") if s.strip())
+
+    if args.synth_command == "scatter":
+        try:
+            results = run_synth_scatter(
+                imbalance=args.imbalance,
+                ranks=args.ranks,
+                iterations=args.iterations,
+                seed=args.seed,
+                placement=args.placement,
+                schedulers=scheds(("cfs", "uniform", "adaptive")),
+            )
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(summarize_result(results), indent=2, sort_keys=True))
+            return 0
+        print(
+            f"synthetic_scatter: imbalance {args.imbalance:g} x "
+            f"{args.ranks} ranks, {args.placement} placement"
+        )
+        _print_exec_rows(results)
+        return 0
+
+    if args.synth_command == "sweep":
+        try:
+            imbalances = [float(x) for x in args.imbalances.split(",") if x.strip()]
+            ranks = [int(x) for x in args.ranks.split(",") if x.strip()]
+            result = run_synth_sweep(
+                imbalances=imbalances,
+                ranks=ranks,
+                iterations=args.iterations,
+                seed=args.seed,
+                schedulers=scheds(("cfs", "adaptive")),
+            )
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(summarize_result(result), indent=2, sort_keys=True))
+            return 0
+        print("synthetic_scatter sweep (exec seconds per scheduler):")
+        for cell in result["cells"]:
+            row = "  ".join(
+                f"{sched}={res.exec_time:8.3f}s"
+                for sched, res in cell["results"].items()
+            )
+            print(
+                f"  I={cell['imbalance']:<4g} N={cell['ranks']:<3d}  {row}"
+            )
+        return 0
+
+    if args.synth_command == "convergence":
+        try:
+            results = run_synth_convergence(
+                ranks=args.ranks,
+                imbalance=args.imbalance,
+                iterations=args.iterations,
+                step_at=args.step_at,
+                revert_at=args.revert_at,
+                eps=args.eps,
+                schedulers=scheds(("uniform", "adaptive")),
+            )
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(summarize_result(results), indent=2, sort_keys=True))
+            return 0
+        print(
+            f"synthetic_convergence: {args.ranks} ranks, pair imbalance "
+            f"{args.imbalance:g}, step at iteration "
+            f"{args.step_at if args.step_at is not None else args.iterations // 2}"
+        )
+        for sched, entry in results.items():
+            for key in ("convergence", "reconvergence"):
+                if key not in entry:
+                    continue
+                c = entry[key]
+                when = (
+                    f"{c['epochs']} epochs / {c['sim_time']:.3f}s"
+                    if c["converged"]
+                    else f"NOT within {c['epochs_observed']} epochs"
+                )
+                print(
+                    f"  {sched:<9} {key:<13} eps={c['eps']:5.2f}pt  "
+                    f"{when}  residual spread {c['residual_spread']:.2f}pt"
+                )
+        return 0
+
+    print("usage: repro-hpcsched synth {scatter,sweep,convergence}", file=sys.stderr)
+    return 1
+
+
+def _print_exec_rows(results) -> None:
+    """Exec-time rows (+ improvement over cfs when present)."""
+    base = results.get("cfs")
+    for sched, res in results.items():
+        note = ""
+        if base is not None and sched != "cfs" and base.exec_time > 0:
+            note = f"  ({res.improvement_over(base):+.1f}% vs cfs)"
+        print(f"  {sched:<9} exec {res.exec_time:8.3f}s{note}")
 
 
 def _add_serve_parser(sub) -> None:
@@ -764,6 +982,7 @@ def _validate(args) -> int:
         dt=args.dt,
         stop_on_divergence=not args.keep_going,
         on_case=progress,
+        pool=args.pool,
     )
     print(report.summary())
     return 0 if report.ok else 1

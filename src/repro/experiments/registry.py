@@ -65,4 +65,5 @@ def _load_all() -> None:
         extrinsic,
         nice_ablation,
         amr,
+        synth,
     )

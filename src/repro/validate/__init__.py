@@ -30,7 +30,13 @@ from repro.validate.differential import (
     run_differential,
     shrink,
 )
-from repro.validate.fuzz import FuzzReport, generate_scenario, run_fuzz
+from repro.validate.fuzz import (
+    FuzzReport,
+    SCENARIO_POOLS,
+    generate_scenario,
+    generate_synth_scenario,
+    run_fuzz,
+)
 from repro.validate.invariants import (
     InvariantViolation,
     validation_enabled,
@@ -61,12 +67,14 @@ __all__ = [
     "ParityCase",
     "ParityReport",
     "ReferenceSimulator",
+    "SCENARIO_POOLS",
     "Scenario",
     "SetPrioOp",
     "SleepOp",
     "TaskSpec",
     "check_parity",
     "generate_scenario",
+    "generate_synth_scenario",
     "run_differential",
     "run_fuzz",
     "run_parity_suite",

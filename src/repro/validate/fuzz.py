@@ -44,6 +44,12 @@ from repro.validate.scenario import (
 )
 
 
+#: Scenario pools ``run_fuzz`` can draw from: the generic SPMD engine
+#: fuzzer, or shapes derived from the synth generator family
+#: (``repro.workloads.synth``) expressed in the scenario language.
+SCENARIO_POOLS = ("engine", "synth")
+
+
 def generate_scenario(seed: int, index: int) -> Scenario:
     """Deterministically generate the ``index``-th scenario of ``seed``."""
     rng = np.random.default_rng(np.random.SeedSequence((seed, index)))
@@ -100,6 +106,95 @@ def generate_scenario(seed: int, index: int) -> Scenario:
     )
 
 
+def generate_synth_scenario(seed: int, index: int) -> Scenario:
+    """The ``index``-th synth-pool scenario of ``seed``.
+
+    Rotates through the synth generator family, re-expressed in the
+    four-op scenario language so the differential oracle can check the
+    fluid engine on exactly the shapes the generators produce:
+
+    * **scatter** — a :func:`repro.workloads.synth.calculate_work`
+      distribution (randomized target imbalance) over every logical
+      CPU, barrier-synchronized rounds;
+    * **convergence** — (light, heavy) SMT pairs with the partner swap
+      at the midpoint round (the step-change protocol);
+    * **offload** — many tiny computes interleaved with short sleeps on
+      odd CPUs against a long compute on even CPUs (the wakeup-latency
+      stressor; message passing is outside the scenario DSL, so the
+      blocking is modeled with sleeps).
+    """
+    from repro.workloads.synth import calculate_work
+
+    rng = np.random.default_rng(np.random.SeedSequence((seed, index, 0x53594E54)))
+    family = ("scatter", "convergence", "offload")[index % 3]
+    chips = int(rng.choice([1, 1, 2]))
+    cores_per_chip = 2
+    n_cpus = chips * cores_per_chip * 2
+    rounds = int(rng.integers(2, 5))
+    mean_work = float(rng.uniform(0.004, 0.02))
+
+    programs: List[List[object]] = [[] for _ in range(n_cpus)]
+    if family == "scatter":
+        imbalance = float(rng.uniform(1.0, n_cpus))
+        loads = calculate_work(n_cpus, imbalance, mean_work=mean_work, rng=rng)
+        for _ in range(rounds):
+            for cpu, load in enumerate(loads):
+                programs[cpu].append(ComputeOp(work=load))
+                programs[cpu].append(BarrierOp(group=0))
+    elif family == "convergence":
+        imbalance = float(rng.uniform(1.0, 2.0))
+        light = (2.0 - imbalance) * mean_work
+        heavy = imbalance * mean_work
+        step_round = rounds // 2
+        for r in range(rounds):
+            swapped = r >= step_round
+            for cpu in range(n_cpus):
+                is_heavy = (cpu % 2 == 1) != swapped
+                work = heavy if is_heavy else light
+                if work > 0:
+                    programs[cpu].append(ComputeOp(work=work))
+                programs[cpu].append(BarrierOp(group=0))
+    else:  # offload
+        messages = int(rng.integers(3, 9))
+        chunk = mean_work / 8.0
+        for _ in range(rounds):
+            for cpu in range(n_cpus):
+                if cpu % 2 == 0:
+                    programs[cpu].append(ComputeOp(work=mean_work))
+                else:
+                    for _ in range(messages):
+                        programs[cpu].append(SleepOp(duration=chunk))
+                        programs[cpu].append(ComputeOp(work=chunk))
+                programs[cpu].append(BarrierOp(group=0))
+
+    specs = []
+    for cpu, ops in enumerate(programs):
+        # Rate-dependent final event, as in the engine pool.
+        ops.append(ComputeOp(work=mean_work * 0.5))
+        specs.append(
+            TaskSpec(
+                name=f"S{cpu}",
+                cpu=cpu,
+                ops=tuple(ops),
+                profile=str(rng.choice(PROFILES)),
+                hw_priority=int(rng.integers(3, 7)),
+            )
+        )
+    return Scenario(
+        tasks=tuple(specs),
+        chips=chips,
+        cores_per_chip=cores_per_chip,
+        label=f"synth-{family}-{seed}-{index}",
+    )
+
+
+#: Pool name -> generator function.
+POOL_GENERATORS = {
+    "engine": generate_scenario,
+    "synth": generate_synth_scenario,
+}
+
+
 @dataclass
 class FuzzCase:
     """Outcome of one fuzzed scenario."""
@@ -119,6 +214,7 @@ class FuzzReport:
     seed: int
     count: int
     dt: float
+    pool: str = "engine"
     cases: List[FuzzCase] = field(default_factory=list)
     #: Result of the *shrunk* first divergence, if any was found.
     failure: Optional[DifferentialResult] = None
@@ -136,8 +232,9 @@ class FuzzReport:
         """Render the campaign outcome (plus minimized repro, if any)."""
         refined = sum(1 for c in self.cases if c.refined)
         lines = [
-            f"fuzz campaign: seed={self.seed} scenarios={len(self.cases)}"
-            f"/{self.count} dt={self.dt:g} wall={self.wall_time:.2f}s",
+            f"fuzz campaign: pool={self.pool} seed={self.seed} "
+            f"scenarios={len(self.cases)}/{self.count} dt={self.dt:g} "
+            f"wall={self.wall_time:.2f}s",
             f"  divergences: {self.divergences}"
             f"  (refinement re-checks: {refined})",
         ]
@@ -159,18 +256,28 @@ def run_fuzz(
     dt: float = 2e-5,
     stop_on_divergence: bool = True,
     on_case=None,
+    pool: str = "engine",
 ) -> FuzzReport:
     """Fuzz ``count`` scenarios through the differential harness.
 
-    On the first divergence the scenario is shrunk to a minimized repro
+    ``pool`` selects the scenario generator (see
+    :data:`SCENARIO_POOLS`): ``engine`` is the generic SPMD fuzzer,
+    ``synth`` draws shapes from the synth workload generators.  On the
+    first divergence the scenario is shrunk to a minimized repro
     (stored in ``report.failure``); with ``stop_on_divergence`` the
     campaign ends there.  ``on_case`` is an optional progress callback
     receiving each :class:`FuzzCase`.
     """
-    report = FuzzReport(seed=seed, count=count, dt=dt)
+    try:
+        generate = POOL_GENERATORS[pool]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario pool {pool!r}; pick from {SCENARIO_POOLS}"
+        ) from None
+    report = FuzzReport(seed=seed, count=count, dt=dt, pool=pool)
     start = time.perf_counter()
     for index in range(count):
-        scenario = generate_scenario(seed, index)
+        scenario = generate(seed, index)
         result = run_differential(scenario, dt=dt)
         case = FuzzCase(
             index=index,

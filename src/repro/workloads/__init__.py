@@ -9,12 +9,20 @@
 * :mod:`repro.workloads.siesta` — a SIESTA-like irregular
   self-consistency loop: short variable compute chunks, frequent global
   reductions, extreme sensitivity to scheduler latency,
+* :mod:`repro.workloads.synth` — parameterized imbalance generators
+  (exact target imbalance factor, step-change convergence probe,
+  offload-latency and bad-placement stressors),
 * :mod:`repro.workloads.noise` — OS noise daemons (the extrinsic
   imbalance source).
 
 Each workload is described by :class:`repro.workloads.base.RankSpec`
 entries and launched with :func:`repro.workloads.base.launch_workload`.
+Workload *classes* are listed in :data:`WORKLOADS` keyed by their
+``name`` attribute; :func:`resolve` looks one up with an error message
+that names the valid choices.
 """
+
+from typing import Dict, Tuple, Type
 
 from repro.workloads.base import (
     RankSpec,
@@ -28,6 +36,52 @@ from repro.workloads.btmz import BTMZ
 from repro.workloads.siesta import Siesta
 from repro.workloads.amr import AMRDrift
 from repro.workloads.noise import NoiseDaemons, spawn_noise
+from repro.workloads.synth import (
+    LocalBad,
+    OffloadLatency,
+    SyntheticConvergence,
+    SyntheticScatter,
+    calculate_work,
+    realized_imbalance,
+    unbalanced_sweep,
+)
+
+#: Every launchable workload class, keyed by its ``name`` attribute.
+WORKLOADS: Dict[str, Type[Workload]] = {
+    cls.name: cls
+    for cls in (
+        MetBench,
+        MetBenchVar,
+        BTMZ,
+        Siesta,
+        AMRDrift,
+        SyntheticScatter,
+        SyntheticConvergence,
+        LocalBad,
+        OffloadLatency,
+    )
+}
+
+
+def available() -> Tuple[str, ...]:
+    """The registered workload names, sorted."""
+    return tuple(sorted(WORKLOADS))
+
+
+def resolve(name: str) -> Type[Workload]:
+    """Look up a workload class by its registered name.
+
+    Raises :class:`KeyError` naming the valid workloads, so a typo in a
+    CLI flag or campaign spec is self-diagnosing.
+    """
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; valid workloads: "
+            + ", ".join(available())
+        ) from None
+
 
 __all__ = [
     "RankSpec",
@@ -41,4 +95,14 @@ __all__ = [
     "AMRDrift",
     "NoiseDaemons",
     "spawn_noise",
+    "SyntheticScatter",
+    "SyntheticConvergence",
+    "LocalBad",
+    "OffloadLatency",
+    "calculate_work",
+    "realized_imbalance",
+    "unbalanced_sweep",
+    "WORKLOADS",
+    "available",
+    "resolve",
 ]

@@ -13,6 +13,8 @@ from repro.bench.scenarios import (
     event_storm_deep,
     event_storm_wide,
     event_storm_wide_sharded,
+    synth_convergence,
+    synth_scatter,
 )
 from repro.cli import main
 
@@ -52,6 +54,27 @@ def test_event_storm_wide_sharded_deterministic():
     first = event_storm_wide_sharded(chains=16, n_nodes=2, shards=2)
     assert first > 0
     assert event_storm_wide_sharded(chains=16, n_nodes=2, shards=2) == first
+
+
+def test_synth_scatter_deterministic_event_count():
+    first = synth_scatter(ranks=8, imbalance=2.0, iterations=2)
+    assert first > 0
+    assert synth_scatter(ranks=8, imbalance=2.0, iterations=2) == first
+
+
+def test_synth_convergence_deterministic_event_count():
+    first = synth_convergence(ranks=8, iterations=8)
+    assert first > 0
+    assert synth_convergence(ranks=8, iterations=8) == first
+
+
+def test_synth_scenarios_have_harness_entries():
+    for name in ("synth_scatter_64", "synth_convergence_64"):
+        assert name in harness.SCENARIO_NAMES
+        fn, params = harness._entry_spec(name, quick=True, storm_events=0)
+        assert callable(fn)
+        assert params["ranks"] == 64
+        assert params["scheduler"] == "adaptive"
 
 
 # ----------------------------------------------------------------------

@@ -103,6 +103,48 @@ def test_builtin_campaigns_cover_registry():
     assert isinstance(full, CampaignSpec) and full.digest != quick.digest
 
 
+def test_synth_presets_expand_the_feasible_grid():
+    from repro.campaign.spec import (
+        BUILTIN_CAMPAIGNS,
+        QUICK_PARAMS,
+        SWEEP_IMBALANCES,
+        SWEEP_RANKS,
+    )
+    from repro.workloads.synth import unbalanced_sweep
+
+    assert "synth-sweep" in BUILTIN_CAMPAIGNS
+    assert "synth-convergence" in BUILTIN_CAMPAIGNS
+
+    sweep = builtin_campaign("synth-sweep")
+    grid = unbalanced_sweep(SWEEP_IMBALANCES, SWEEP_RANKS)
+    assert len(sweep.runs) == len(grid)
+    assert all(r.experiment == "synth_scatter" for r in sweep.runs)
+    assert {(r.params["imbalance"], r.params["ranks"]) for r in sweep.runs} == {
+        (c["imbalance"], c["ranks"]) for c in grid
+    }
+
+    conv = builtin_campaign("synth-convergence")
+    assert all(r.experiment == "synth_convergence" for r in conv.runs)
+    assert {r.params["ranks"] for r in conv.runs} == {16, 64}
+    assert all(r.params["revert_at"] == 9 for r in conv.runs)
+
+    # Every synth experiment has a quick-mode downscale, and the quick
+    # params are actually accepted by the registered runner.
+    from repro.experiments.registry import EXPERIMENTS
+
+    for exp in (
+        "synth_scatter",
+        "synth_convergence",
+        "synth_sweep",
+        "synth_offload",
+        "synth_local_bad",
+    ):
+        assert exp in QUICK_PARAMS
+        accepted, dropped = filter_kwargs(EXPERIMENTS[exp], QUICK_PARAMS[exp])
+        assert dropped == []
+        assert accepted == QUICK_PARAMS[exp]
+
+
 def test_summarize_and_restore_experiment_result():
     res = ExperimentResult(workload="w", scheduler="uniform", exec_time=3.25)
     res.tasks["P1"] = TaskResult(

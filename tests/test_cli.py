@@ -71,3 +71,58 @@ def test_cluster_single_placement(capsys):
 def test_cluster_rejects_zero_ranks(capsys):
     assert main(["cluster", "--nodes", "2", "--ranks", "0"]) == 2
     assert capsys.readouterr().err
+
+
+def test_synth_scatter_prints_comparison(capsys):
+    assert main([
+        "synth", "scatter", "--ranks", "4", "--iterations", "3",
+        "--imbalance", "2.0",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "imbalance" in out
+    assert "cfs" in out and "adaptive" in out
+
+
+def test_synth_scatter_json(capsys):
+    import json
+
+    assert main([
+        "synth", "scatter", "--ranks", "4", "--iterations", "3",
+        "--schedulers", "cfs", "--json",
+    ]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert "cfs" in data
+
+
+def test_synth_convergence_prints_metrics(capsys):
+    assert main([
+        "synth", "convergence", "--ranks", "4", "--iterations", "8",
+        "--revert-at", "6",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "epochs" in out
+    assert "uniform" in out and "adaptive" in out
+
+
+def test_synth_sweep_prints_cells(capsys):
+    assert main([
+        "synth", "sweep", "--imbalances", "1.0,2.0", "--ranks", "4",
+        "--iterations", "2", "--schedulers", "cfs",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "I=1" in out and "I=2" in out and "N=4" in out
+
+
+def test_synth_rejects_infeasible_imbalance(capsys):
+    assert main([
+        "synth", "scatter", "--ranks", "4", "--imbalance", "9.0",
+    ]) == 2
+    assert "infeasible" in capsys.readouterr().err
+
+
+def test_validate_pool_flag(capsys):
+    assert main([
+        "validate", "--fuzz", "1", "--dt", "5e-5", "--pool", "synth",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "pool=synth" in out

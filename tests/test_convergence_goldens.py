@@ -1,0 +1,124 @@
+"""Convergence-time regression goldens (Uniform vs Adaptive).
+
+Pins the *reaction speed* of the two dynamic heuristics on the
+``synthetic_convergence`` step-change probe at 16 and 64 ranks: epochs
+and simulated seconds until the detector's measured imbalance recovers
+the pre-step band, plus the post-reversal re-convergence.  Stored in
+the same ``tests/data/goldens.json`` file and regenerated through the
+same flow as the exec-time goldens::
+
+    pytest tests/test_convergence_goldens.py --update-goldens
+
+The paper's claim (§V-C) is that the balancer needs "one or two
+iterations" to re-balance after a behaviour change; the acceptance
+tests at the bottom assert that bound directly, independent of the
+pinned values.
+"""
+
+import json
+from functools import lru_cache
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.synth import run_synth_convergence
+
+GOLDENS_PATH = Path(__file__).parent / "data" / "goldens.json"
+
+RANKS = (16, 64)
+SCHEDULERS = ("uniform", "adaptive")
+
+#: Probe shape shared by every case: 12 iterations, step at 6 (the
+#: default midpoint), reversal at 9.
+PROBE = {"iterations": 12, "revert_at": 9}
+
+CONVERGENCE_CASES = {
+    f"synthetic_convergence_{ranks}_{scheduler}": (ranks, scheduler)
+    for ranks in RANKS
+    for scheduler in SCHEDULERS
+}
+
+
+@lru_cache(maxsize=None)
+def _run(ranks: int, scheduler: str) -> dict:
+    """One probe run, reduced to the JSON-able golden payload."""
+    out = run_synth_convergence(ranks=ranks, schedulers=(scheduler,), **PROBE)
+    entry = out[scheduler]
+    conv, reconv = entry["convergence"], entry["reconvergence"]
+    return {
+        "exec_time": entry["result"].exec_time,
+        "eps": conv["eps"],
+        "converged": conv["converged"],
+        "epochs": conv["epochs"],
+        "sim_time": conv["sim_time"],
+        "residual_spread": conv["residual_spread"],
+        "reconverged": reconv["converged"],
+        "re_epochs": reconv["epochs"],
+    }
+
+
+def _load_goldens() -> dict:
+    if not GOLDENS_PATH.exists():
+        return {}
+    return json.loads(GOLDENS_PATH.read_text())
+
+
+@pytest.mark.parametrize("key", sorted(CONVERGENCE_CASES))
+def test_convergence_golden(key, request):
+    ranks, scheduler = CONVERGENCE_CASES[key]
+    payload = _run(ranks, scheduler)
+    if request.config.getoption("--update-goldens"):
+        goldens = _load_goldens()
+        goldens[key] = payload
+        GOLDENS_PATH.write_text(
+            json.dumps(dict(sorted(goldens.items())), indent=2) + "\n"
+        )
+        pytest.skip(f"golden updated: {key} = {payload!r}")
+    goldens = _load_goldens()
+    assert key in goldens, (
+        f"no stored golden for {key}; generate it with "
+        "pytest tests/test_convergence_goldens.py --update-goldens"
+    )
+    stored = goldens[key]
+    assert set(payload) == set(stored)
+    for field, value in payload.items():
+        if isinstance(value, float):
+            assert value == pytest.approx(stored[field], rel=1e-9), (
+                f"{key}.{field}: behaviour changed "
+                f"({value!r} != {stored[field]!r}); if intentional, "
+                "regenerate the goldens (see module docstring)"
+            )
+        else:
+            assert value == stored[field], (
+                f"{key}.{field}: behaviour changed "
+                f"({value!r} != {stored[field]!r})"
+            )
+
+
+# ----------------------------------------------------------------------
+# Acceptance bounds, independent of the pinned values.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("ranks", RANKS)
+def test_both_heuristics_converge_and_reconverge(ranks):
+    for scheduler in SCHEDULERS:
+        payload = _run(ranks, scheduler)
+        assert payload["converged"], (ranks, scheduler)
+        assert payload["reconverged"], (ranks, scheduler)
+
+
+def test_adaptive_is_at_least_as_fast_as_uniform_at_scale():
+    """ISSUE acceptance: at 64 ranks the Adaptive heuristic converges
+    at least as fast (in epochs) as Uniform."""
+    assert _run(64, "adaptive")["epochs"] <= _run(64, "uniform")["epochs"]
+
+
+@pytest.mark.parametrize("ranks", RANKS)
+def test_adaptive_meets_the_paper_epoch_bound(ranks):
+    """§V-C: re-balancing takes "one or two iterations".  The first
+    post-step epoch merely *reveals* the new distribution, so the
+    paper-consistent bound is reveal + two adjustment epochs."""
+    payload = _run(ranks, "adaptive")
+    assert payload["epochs"] <= 3
+    assert payload["re_epochs"] <= 3

@@ -71,6 +71,13 @@ def test_golden(key, request):
 
 
 def test_goldens_file_matches_the_case_matrix():
-    """The stored file tracks the matrix exactly — no stale keys."""
+    """The stored file tracks the matrices exactly — no stale keys.
+
+    The file is shared with the convergence goldens
+    (``tests/test_convergence_goldens.py``), so the expected key set is
+    the union of both case matrices.
+    """
+    from tests.test_convergence_goldens import CONVERGENCE_CASES
+
     goldens = _load_goldens()
-    assert set(goldens) == set(CASES)
+    assert set(goldens) == set(CASES) | set(CONVERGENCE_CASES)

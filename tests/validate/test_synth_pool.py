@@ -1,0 +1,89 @@
+"""The synth scenario pool: generation domain, determinism, and the
+differential oracle over every generator family."""
+
+import pytest
+
+from repro.validate.differential import run_differential
+from repro.validate.fuzz import (
+    POOL_GENERATORS,
+    SCENARIO_POOLS,
+    generate_synth_scenario,
+    run_fuzz,
+)
+from repro.validate.scenario import BarrierOp, ComputeOp, SleepOp
+
+FAMILIES = ("scatter", "convergence", "offload")
+
+
+def test_pool_registry_is_consistent():
+    assert set(POOL_GENERATORS) == set(SCENARIO_POOLS)
+    assert POOL_GENERATORS["synth"] is generate_synth_scenario
+
+
+def test_generation_is_deterministic():
+    for i in range(6):
+        assert generate_synth_scenario(3, i) == generate_synth_scenario(3, i)
+
+
+def test_indices_rotate_through_the_generator_families():
+    for i in range(6):
+        s = generate_synth_scenario(0, i)
+        assert FAMILIES[i % 3] in s.label
+
+
+def test_generated_scenarios_stay_inside_the_domain():
+    for i in range(12):
+        s = generate_synth_scenario(7, i)
+        s.validate()  # raises on any domain violation
+        # One pinned task per logical CPU, barrier-synchronized rounds.
+        assert len(s.tasks) == s.n_cpus
+        assert all(
+            any(isinstance(op, BarrierOp) for op in t.ops) for t in s.tasks
+        )
+
+
+def test_offload_family_interleaves_sleeps_on_odd_cpus():
+    scenarios = [generate_synth_scenario(0, i) for i in (2, 5, 8)]
+    for s in scenarios:
+        odd = [t for t in s.tasks if t.cpu % 2 == 1]
+        assert all(
+            any(isinstance(op, SleepOp) for op in t.ops) for t in odd
+        )
+        even = [t for t in s.tasks if t.cpu % 2 == 0]
+        assert all(
+            all(not isinstance(op, SleepOp) for op in t.ops) for t in even
+        )
+        assert all(
+            any(isinstance(op, ComputeOp) for op in t.ops) for t in s.tasks
+        )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("family_index", [0, 1, 2])
+def test_differential_oracle_accepts_every_family(seed, family_index):
+    """ISSUE acceptance: >= 3 seeds per generator family through the
+    fluid-vs-reference oracle, zero divergences."""
+    scenario = generate_synth_scenario(seed, family_index)
+    assert FAMILIES[family_index] in scenario.label
+    result = run_differential(scenario, dt=5e-5)
+    assert result.ok, result.divergence
+
+
+def test_run_fuzz_draws_from_the_synth_pool():
+    report = run_fuzz(count=3, seed=0, dt=5e-5, pool="synth")
+    assert report.ok
+    assert report.pool == "synth"
+    assert len(report.cases) == 3
+    assert all(c.label.startswith("synth-") for c in report.cases)
+    assert "pool=synth" in report.summary()
+
+
+def test_run_fuzz_rejects_an_unknown_pool():
+    with pytest.raises(ValueError, match="engine"):
+        run_fuzz(count=1, pool="quantum")
+
+
+def test_default_pool_is_the_engine_fuzzer():
+    report = run_fuzz(count=1, seed=0, dt=5e-5)
+    assert report.pool == "engine"
+    assert report.cases[0].label.startswith("fuzz-")

@@ -1,0 +1,50 @@
+"""The workload registry: listing, resolution, and error naming."""
+
+import pytest
+
+from repro.workloads import (
+    WORKLOADS,
+    Workload,
+    available,
+    resolve,
+)
+from repro.workloads.synth import SyntheticScatter
+
+
+def test_registry_lists_every_workload_by_its_declared_name():
+    assert set(WORKLOADS) == {
+        "metbench",
+        "metbenchvar",
+        "bt-mz",
+        "siesta",
+        "amr-drift",
+        "synthetic_scatter",
+        "synthetic_convergence",
+        "local_bad",
+        "offload_latency",
+    }
+    for name, cls in WORKLOADS.items():
+        assert cls.name == name
+        assert issubclass(cls, Workload)
+
+
+def test_available_is_sorted_and_matches_the_registry():
+    names = available()
+    assert isinstance(names, tuple)
+    assert list(names) == sorted(WORKLOADS)
+
+
+def test_resolve_returns_the_class():
+    assert resolve("synthetic_scatter") is SyntheticScatter
+    for name in available():
+        assert resolve(name) is WORKLOADS[name]
+
+
+def test_resolve_error_names_the_valid_workloads():
+    with pytest.raises(KeyError) as excinfo:
+        resolve("metbench_typo")
+    message = str(excinfo.value)
+    assert "metbench_typo" in message
+    # The fix under test: the error enumerates what *would* have worked.
+    for name in available():
+        assert name in message
