@@ -39,6 +39,7 @@ from repro.bench.scenarios import (
     DEFAULT_SERVE_JOBS,
     DEFAULT_STORM_CHAINS,
     DEFAULT_STORM_EVENTS,
+    DEFAULT_TIMER_ITERATIONS,
     DEFAULT_WIDE_CHAINS,
     DEFAULT_WIDE_NODES,
     DEFAULT_SYNTH_RANKS,
@@ -46,6 +47,7 @@ from repro.bench.scenarios import (
     cluster_metbench_sharded,
     event_storm_chain,
     event_storm_deep,
+    event_storm_timers,
     event_storm_wide,
     event_storm_wide_sharded,
     serve_throughput,
@@ -72,6 +74,8 @@ DEFAULT_SHARD_WORKERS = "inline"
 SCENARIO_NAMES = (
     "event_storm_chain",
     "event_storm_deep",
+    "event_storm_timers",
+    "event_storm_timers_stock",
     "event_storm_wide",
     "event_storm_wide_sharded",
     "metbench_cfs",
@@ -123,6 +127,71 @@ def host_cpu_count() -> int:
         return os.cpu_count() or 1
 
 
+def host_fingerprint() -> Dict[str, object]:
+    """Identity of the measuring host: cpu count, kernel release, python.
+
+    Wall times only mean something against a baseline from the *same*
+    fingerprint — PR 6's report showed uniform 0.80–0.95× "regressions"
+    on untouched pure-engine scenarios that were really a host/kernel
+    change.  :func:`compare_reports` downgrades cross-fingerprint
+    regressions to warnings.
+    """
+    return {
+        "cpus": host_cpu_count(),
+        "kernel": platform.release(),
+        "python": sys.version.split()[0],
+    }
+
+
+def _kernel_from_platform(text: str) -> str:
+    """Extract the kernel release from a ``platform.platform()`` string
+    (legacy reports recorded only that).  ``Linux-6.18.5-fc-v20-x86_64-
+    with-glibc2.36`` → ``6.18.5-fc-v20``; unparseable strings are
+    returned whole (they still compare stably against themselves)."""
+    if "-" not in text:
+        return text
+    body = text.split("-", 1)[1]
+    for marker in ("-x86_64", "-aarch64", "-arm64", "-i686", "-with"):
+        idx = body.find(marker)
+        if idx != -1:
+            return body[:idx]
+    return body
+
+
+def fingerprint_of(report: Dict[str, object]) -> Dict[str, object]:
+    """The host fingerprint of a loaded report dict.  Reports written
+    before the explicit ``fingerprint`` field existed derive one from
+    the legacy ``host_cpus``/``platform``/``python`` metadata, so a new
+    report still matches an old baseline measured on the same host."""
+    fp = report.get("fingerprint")
+    if isinstance(fp, dict):
+        return fp
+    return {
+        "cpus": report.get("host_cpus"),
+        "kernel": _kernel_from_platform(str(report.get("platform", ""))),
+        "python": report.get("python"),
+    }
+
+
+def fingerprints_match(
+    current: Dict[str, object], baseline: Dict[str, object]
+) -> bool:
+    """Whether two reports were measured on the same host fingerprint.
+
+    A report with no host metadata at all (neither the explicit
+    ``fingerprint`` nor the legacy fields) gets the benefit of the
+    doubt: it is assumed same-host so the regression gate stays strict
+    rather than silently downgrading every diff against it."""
+    cur_fp, base_fp = fingerprint_of(current), fingerprint_of(baseline)
+
+    def blank(fp: Dict[str, object]) -> bool:
+        return fp.get("cpus") is None and fp.get("python") is None and not fp.get("kernel")
+
+    if blank(cur_fp) or blank(base_fp):
+        return True
+    return cur_fp == base_fp
+
+
 @dataclass
 class BenchReport:
     """A full bench run: metadata plus one record per benchmark."""
@@ -151,6 +220,7 @@ class BenchReport:
             "peak_rss_kb": self.peak_rss_kb,
             "jobs": self.jobs,
             "host_cpus": self.host_cpus,
+            "fingerprint": {**host_fingerprint(), "cpus": self.host_cpus},
             "benchmarks": {n: r.to_dict() for n, r in self.records.items()},
         }
         if self.created:
@@ -219,6 +289,17 @@ def _entry_spec(
         return (
             lambda: event_storm_deep(storm_events, DEFAULT_STORM_CHAINS),
             {"events": storm_events, "chains": DEFAULT_STORM_CHAINS},
+        )
+    if name.startswith("event_storm_timers"):
+        # Twin entries: same workload with the fast-forward engine on
+        # (default) and off, so one report carries the elision speedup
+        # as a same-host wall-time pair.
+        ff = not name.endswith("_stock")
+        return (
+            lambda: event_storm_timers(
+                DEFAULT_TIMER_ITERATIONS, fastforward=ff
+            ),
+            {"iterations": DEFAULT_TIMER_ITERATIONS, "fastforward": ff},
         )
     if name.startswith("metbench_"):
         sched = name[len("metbench_"):]
@@ -341,7 +422,12 @@ def _plan(
     exp_rounds = 1 if quick else 2
     cluster_rounds = min(rounds, 2)
     plan: List[Tuple[str, int]] = []
-    for name in ("event_storm_chain", "event_storm_deep"):
+    for name in (
+        "event_storm_chain",
+        "event_storm_deep",
+        "event_storm_timers",
+        "event_storm_timers_stock",
+    ):
         if wanted(name):
             plan.append((name, rounds))
     for name in exp_names:
@@ -513,6 +599,13 @@ def context_warnings(
             f"baseline had {base_cpus}; wall times are not comparable "
             f"across hosts"
         )
+    if not fingerprints_match(current, baseline):
+        cur_fp, base_fp = fingerprint_of(current), fingerprint_of(baseline)
+        warnings.append(
+            f"host fingerprint mismatch: current {cur_fp} vs baseline "
+            f"{base_fp}; regressions are downgraded to warnings (wall "
+            f"times across hosts/kernels/pythons are not comparable)"
+        )
     return warnings
 
 
@@ -520,36 +613,72 @@ def compare_reports(
     current: Dict[str, object],
     baseline: Dict[str, object],
     threshold: float = DEFAULT_THRESHOLD,
+    same_host: Optional[bool] = None,
 ) -> List[Dict[str, object]]:
-    """Diff two report dicts on events/sec.
+    """Diff two report dicts.
 
     Returns one row per benchmark present in both reports *with matching
-    parameters*: ``{name, current, baseline, ratio, regressed}`` where
-    ``ratio`` is current/baseline throughput and ``regressed`` flags a
-    drop of more than ``threshold``.
+    parameters*: ``{name, current, baseline, ratio, basis, regressed,
+    cross_host}`` where ``ratio`` > 1 means the current report is faster
+    and ``regressed`` flags a drop of more than ``threshold``.
+
+    Two rules keep the ratios honest:
+
+    * **Basis.**  Normally the ratio is current/baseline events-per-sec.
+      When the same workload processed a *different number of events*
+      (the fast-forward engine elides inert timers, so event counts
+      legitimately change across engine versions), throughput is the
+      wrong ruler — eliding 90% of the events "loses" 90% of the
+      numerator — and the row falls back to the wall-time ratio
+      (baseline/current, same orientation).  ``basis`` records which
+      ruler was used (``events_per_sec`` or ``wall_s``).
+    * **Cross-host downgrade.**  When the reports' host fingerprints
+      differ (``same_host`` defaults to :func:`fingerprints_match`),
+      a drop beyond the threshold sets ``cross_host`` instead of
+      ``regressed`` — a kernel/python/cpu change moves wall times by
+      tens of percent on its own, so the gate must not fail CI on it.
     """
     rows: List[Dict[str, object]] = []
     cur_benches = current["benchmarks"]
     base_benches = baseline["benchmarks"]
     assert isinstance(cur_benches, dict) and isinstance(base_benches, dict)
+    if same_host is None:
+        same_host = fingerprints_match(current, baseline)
     for name in sorted(cur_benches):
         if name not in base_benches:
             continue
         cur, base = cur_benches[name], base_benches[name]
         if cur.get("params") != base.get("params"):
             continue  # not comparable (different sizes/iterations)
-        base_eps = float(base.get("events_per_sec", 0.0))
-        cur_eps = float(cur.get("events_per_sec", 0.0))
-        if base_eps <= 0:
-            continue
-        ratio = cur_eps / base_eps
+        cur_events, base_events = cur.get("events"), base.get("events")
+        if (
+            cur_events is not None
+            and base_events is not None
+            and cur_events != base_events
+        ):
+            basis = "wall_s"
+            cur_val = float(cur.get("wall_s", 0.0))
+            base_val = float(base.get("wall_s", 0.0))
+            if cur_val <= 0 or base_val <= 0:
+                continue
+            ratio = base_val / cur_val
+        else:
+            basis = "events_per_sec"
+            cur_val = float(cur.get("events_per_sec", 0.0))
+            base_val = float(base.get("events_per_sec", 0.0))
+            if base_val <= 0:
+                continue
+            ratio = cur_val / base_val
+        slow = ratio < 1.0 - threshold
         rows.append(
             {
                 "name": name,
-                "current": cur_eps,
-                "baseline": base_eps,
+                "current": cur_val,
+                "baseline": base_val,
                 "ratio": round(ratio, 4),
-                "regressed": ratio < 1.0 - threshold,
+                "basis": basis,
+                "regressed": slow and same_host,
+                "cross_host": slow and not same_host,
             }
         )
     return rows

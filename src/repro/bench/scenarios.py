@@ -89,6 +89,42 @@ def event_storm_deep(
     return sim.events_processed
 
 
+#: Compute+sleep cycles of each timer-storm task.
+DEFAULT_TIMER_ITERATIONS = 25
+
+
+def event_storm_timers(
+    iterations: int = DEFAULT_TIMER_ITERATIONS, fastforward: bool = True
+) -> int:
+    """Timer-dominated storm; returns events processed.
+
+    A ``full_ticks`` kernel with one pinned task per CPU, each
+    computing briefly then sleeping half a simulated second: during the
+    sleeps nearly every event in the stock run is a tick or balance
+    timer firing against an idle CPU — exactly the
+    predetermined-outcome events :mod:`repro.simcore.fastforward`
+    elides.  Benched twice (``fastforward`` on and off) so the report
+    carries the elision speedup as a same-host wall-time pair.
+    """
+    from repro.kernel import Compute, Kernel, Sleep
+    from repro.power5.machine import Machine, MachineTopology
+    from repro.power5.perfmodel import TableDrivenModel
+
+    machine = Machine(MachineTopology(), TableDrivenModel())
+    kernel = Kernel(machine=machine, fastforward=fastforward)
+    kernel.tunables.set("kernel/full_ticks", True)
+
+    def prog():
+        for _ in range(iterations):
+            yield Compute(2e-4)
+            yield Sleep(0.512)
+
+    for cpu in kernel.machine.cpu_ids:
+        kernel.spawn(f"pulse{cpu}", prog(), cpu=cpu, cpus_allowed=[cpu])
+    kernel.run()
+    return kernel.sim.events_processed
+
+
 def event_storm_wide(
     chains: int = DEFAULT_WIDE_CHAINS, n_nodes: int = DEFAULT_WIDE_NODES
 ) -> int:

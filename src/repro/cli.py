@@ -1067,11 +1067,25 @@ def _bench(args) -> int:
             for warning in warnings:
                 print(f"  WARNING: {warning}")
             for row in rows:
-                mark = "REGRESSED" if row["regressed"] else "ok"
+                if row["regressed"]:
+                    mark = "REGRESSED"
+                elif row.get("cross_host"):
+                    mark = "warn (cross-host, not gated)"
+                else:
+                    mark = "ok"
+                if row.get("basis") == "wall_s":
+                    detail = (
+                        f"({row['current'] * 1e3:,.1f} vs "
+                        f"{row['baseline'] * 1e3:,.1f} ms wall)"
+                    )
+                else:
+                    detail = (
+                        f"({row['current']:,.0f} vs {row['baseline']:,.0f} "
+                        f"events/s)"
+                    )
                 print(
                     f"  {row['name']:<24} {row['ratio']:>6.2f}x "
-                    f"({row['current']:,.0f} vs {row['baseline']:,.0f} "
-                    f"events/s)  {mark}"
+                    f"{detail}  {mark}"
                 )
                 regressed = regressed or bool(row["regressed"])
             if not rows:

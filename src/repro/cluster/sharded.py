@@ -36,20 +36,16 @@ the past.
 **Parked balance timers.**  The dominant event class at cluster scale
 is the per-CPU load-balance timer (priority ``EVPRIO_BALANCE``), which
 is a pure no-op re-arm while its kernel has nothing queued
-(``Kernel._queued_total == 0``; the fire cannot pull or migrate).  At
-every window barrier the engine *parks* such provably-inert chains:
-their events are removed from the heap and remembered as ``(next chain
-point, callback)``.  The instant a kernel's run queue becomes non-empty
-(the ``Kernel.on_queued_nonempty`` 0→1 edge, which fires *inside* the
-enqueueing event, before any same-instant balance fire — balance has
-the numerically largest, i.e. last-run, priority), its chains are
-reinstated at the first chain point at or after ``now``, computed by
-repeated ``t += interval`` along the same float-accumulation chain the
-serial re-arms would walk, so every fire that can observe queued work
-happens at the bit-exact instant it would serially.  Skipped fires are
-no-op re-arms by construction; parked chains of a drained kernel are
-dropped at the end of the run exactly as the serial chain dies at its
-first fire after the last exit.  This eliminates the ~90 % of cluster
+(``Kernel._queued_total == 0``; the fire cannot pull or migrate).
+Since PR 8 the parking itself lives in the kernel's fast-forward engine
+(:mod:`repro.simcore.fastforward`, enabled by default): every kernel —
+serial or sharded — parks provably-inert chains off the heap and
+reinstates them at bit-exact chain points the instant an invalidation
+edge (queued 0→1, migratable 0→1) could make a fire actionable.  This
+module therefore only needs to *account* for the chains the kernels
+manage themselves: parked chains are absent from the heap by
+construction, and the window-horizon scan below skips armed balance
+fires that cannot act yet.  The elision removes the ~90 % of cluster
 events that are inert, and shrinks the heap every other event pays to
 sift through.
 
@@ -100,7 +96,6 @@ from typing import (
 from repro.cluster.cluster import ClusterNode, InterconnectModel
 from repro.cluster.gang import GangPlacement
 from repro.hpcsched.heuristics import Heuristic
-from repro.kernel.core_sched import EVPRIO_BALANCE
 from repro.mpi.comm import Communicator
 from repro.mpi.messages import Message
 from repro.mpi.process import MPIRank
@@ -442,13 +437,14 @@ class ShardEngine:
         self.rank_exit: Dict[int, float] = {}
         self._fresh_exits: Dict[int, float] = {}
         self._injected: List[object] = []  # unfired directive events
-        # Balance-timer parking (windowed mode only; the 1-shard direct
-        # path keeps the stock chains so its event stream is identical
-        # to the serial run's).  Labels are uniquified per node — the
-        # stock per-kernel labels collide across kernels — and stock
-        # arming is suppressed so :meth:`_arm_balance` can install the
-        # self-parking wrapper chains after launch.
-        self._parked: Dict[str, Tuple[float, Callable[[], None]]] = {}
+        # Balance chains are parked by each kernel's own fast-forward
+        # engine (repro.simcore.fastforward); this engine only needs to
+        # recognize the *armed* ones in the window-horizon scan.  Labels
+        # are uniquified per node before launch — the stock per-kernel
+        # labels collide across the kernels sharing this shard's
+        # simulator — so `_next_action` can map a heap entry back to
+        # its kernel.  With fast-forward disabled (REPRO_FASTFORWARD=0)
+        # the chains stay armed and the scan alone keeps windows sound.
         self._label_kernel: Dict[str, object] = {}
         self.windowed = windowed
         if windowed:
@@ -460,14 +456,7 @@ class ShardEngine:
                 }
                 for lbl in kernel._lbl_balance.values():
                     self._label_kernel[lbl] = kernel
-                unpark = self._unparker(kernel)
-                kernel.on_queued_nonempty = unpark
-                kernel.on_migratable = unpark
-                kernel._balance_started = True
         self._launch(programs, placement, profile)
-        if windowed:
-            for nid in sorted(self.nodes):
-                self._arm_balance(self.nodes[nid].kernel)
 
     # -- construction helpers -------------------------------------------
     def _note_live_change(self, delta: int) -> None:
@@ -549,9 +538,10 @@ class ShardEngine:
         return self._report()
 
     def run_direct(self) -> None:
-        """The 1-shard special case: no windows, no fast-forward — the
-        exact serial drive, so the run is byte-identical to
-        :meth:`Cluster.run` (same event stream, same counters; the
+        """The 1-shard special case: no windows — the exact serial
+        drive, so the run is byte-identical to :meth:`Cluster.run`
+        (same event stream, same counters: the kernels' fast-forward
+        engines make identical park/elide decisions in both, and the
         stop arrives via ``sim.stop()`` from ``_note_live_change`` at
         the same post-event instant the serial predicate fires)."""
         if self.live > 0:
@@ -602,94 +592,6 @@ class ShardEngine:
                 continue
             best = entry[0]
         return best
-
-    def _arm_balance(self, kernel) -> None:
-        """Arm ``kernel``'s balance chains as *self-parking* wrappers.
-
-        The wrapper is :meth:`Kernel._periodic_balance` with one change:
-        when the fire leaves the run queues empty — or the kernel holds
-        no migratable task (every mask is a singleton, so ``_steal`` can
-        never move anything) — the next chain point is recorded in
-        ``self._parked`` instead of being pushed on the heap: a fire
-        there would provably be a no-op re-arm.  A kernel with zero
-        migratable tasks parks its chains at arm time without ever
-        touching the heap.  Arm times, chain arithmetic (``t = now +
-        interval`` per re-arm) and the acting path
-        (``balancer.periodic``) are bit-identical to the stock chain's,
-        so every fire that can observe actionable work runs at exactly
-        its serial instant with exactly the serial state.
-        """
-        if kernel.live_tasks <= 0:
-            return  # serial never arms timers on a rankless node
-        interval = kernel._lb_interval
-        cpu_ids = kernel.machine.cpu_ids
-        now = self.sim.now
-        inert = kernel._migratable == 0
-        for i, cpu in enumerate(cpu_ids):
-            offset = interval * (i + 1) / (len(cpu_ids) + 1)
-            label = kernel._lbl_balance[cpu]
-            fire = self._balance_fire(kernel, cpu, label)
-            if inert:
-                # Every task is pinned: the whole chain is inert until a
-                # migratable task appears, so park it at its first chain
-                # point instead of ever touching the heap.
-                self._parked[label] = (now + offset, fire)
-            else:
-                self.sim.after(
-                    offset, fire, priority=EVPRIO_BALANCE, label=label
-                )
-
-    def _balance_fire(
-        self, kernel, cpu: int, label: str
-    ) -> Callable[[], None]:
-        """One chain's wrapper callback (own binding per chain)."""
-        sim = self.sim
-        parked = self._parked
-
-        def fire() -> None:
-            if kernel.live_tasks <= 0:
-                return  # chain dies, as the serial fire would
-            if kernel._queued_total and kernel._migratable:
-                kernel.balancer.periodic(cpu)
-            t = sim.now + kernel._lb_interval
-            if kernel._queued_total == 0 or kernel._migratable == 0:
-                parked[label] = (t, fire)
-            else:
-                sim.at(t, fire, priority=EVPRIO_BALANCE, label=label)
-
-        return fire
-
-    def _unparker(self, kernel) -> Callable[[], None]:
-        """The ``on_queued_nonempty`` / ``on_migratable`` hook:
-        reinstate ``kernel``'s parked chains at their first chain point
-        at or after ``now`` once both conditions a balance pull needs
-        (queued work, a migratable task) hold.
-        The walk repeats the serial re-arms' ``t += interval`` float
-        accumulation, so landing times are bit-identical; a chain point
-        equal to ``now`` fires after the current (enqueueing) event,
-        exactly as the serial heap orders it (balance runs last at any
-        instant)."""
-        def unpark() -> None:
-            parked = self._parked
-            if not parked:
-                return
-            if kernel._queued_total == 0 or kernel._migratable == 0:
-                return  # still provably inert; the other edge re-fires
-
-            now = self.sim.now
-            interval = kernel._lb_interval
-            for label in kernel._lbl_balance.values():
-                item = parked.pop(label, None)
-                if item is None:
-                    continue
-                t, fn = item
-                while t < now:
-                    t += interval
-                self.sim.at(
-                    t, fn, priority=EVPRIO_BALANCE, label=label
-                )
-
-        return unpark
 
     def _report(self) -> WindowReport:
         rt = self.runtime
@@ -945,10 +847,20 @@ def _resolve_workers(workers: str, n_shards: int) -> str:
         return workers
     if n_shards < 2:
         return "inline"
-    cpus = os.cpu_count() or 1
-    if cpus < 2 or not hasattr(os, "fork"):
+    if _usable_cpus() < 2 or not hasattr(os, "fork"):
         return "inline"
     return "process"
+
+
+def _usable_cpus() -> int:
+    """CPUs this process may actually run on.  ``os.cpu_count()`` reports
+    the whole machine, which overcounts inside cpuset-restricted
+    containers (a 1-CPU cgroup on a 64-CPU host would fork 64-way and
+    thrash); prefer the scheduling affinity mask where available."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 # ----------------------------------------------------------------------

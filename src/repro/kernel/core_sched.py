@@ -44,6 +44,7 @@ from repro.power5.priorities import (
     can_set_priority,
 )
 from repro.simcore.engine import Simulator
+from repro.simcore.fastforward import ChainFamily, fastforward_enabled
 
 # Event priorities: lower fires first at equal timestamps.  Phase
 # completions and wakeups run before deferred reschedules so that a
@@ -67,12 +68,21 @@ class Kernel:
         sim: Optional[Simulator] = None,
         tunables: Optional[Tunables] = None,
         trace: Optional[Any] = None,
+        fastforward: Optional[bool] = None,
     ) -> None:
         self.sim = sim or Simulator()
         self.machine = machine or Machine()
         self.tunables = tunables or Tunables()
         self.trace = trace
         self.latency_stats = LatencyStats()
+        #: Fast-forward engine flag (see repro.simcore.fastforward):
+        #: provably-inert balance-timer and full-tick fires are elided
+        #: analytically instead of executed.  Default follows the
+        #: REPRO_FASTFORWARD environment variable (on).
+        self.fastforward = fastforward_enabled(fastforward)
+        #: Parked-timer families (None until the matching chains start).
+        self._ff_balance: Optional[ChainFamily] = None
+        self._ff_tick: Optional[ChainFamily] = None
 
         self.rqs: Dict[int, RunQueue] = {
             cpu: RunQueue(cpu) for cpu in self.machine.cpu_ids
@@ -165,12 +175,30 @@ class Kernel:
     # ------------------------------------------------------------------
     def _refresh_tunable_cache(self) -> None:
         """Re-read the hot tunables consumed on every context switch,
-        tick and balance round (invoked via ``Tunables.subscribe``)."""
+        tick and balance round (invoked via ``Tunables.subscribe``).
+
+        Fast-forward chain families re-time here: subscribers run
+        synchronously inside ``Tunables.set``, so a parked chain's
+        anchor is walked forward with the *old* interval exactly up to
+        the change instant before the new interval is adopted — the
+        same old/new split the serial at-fire-time reads produce."""
         get = self.tunables.get
         self._cs_cost = get("kernel/context_switch_cost")
         self._tick_period = get("kernel/tick_period")
         self._full_ticks = get("kernel/full_ticks")
         self._lb_interval = get("kernel/loadbalance_interval")
+        fam = self._ff_balance
+        if fam is not None and fam.interval != self._lb_interval:
+            fam.retime(self._lb_interval)
+        fam = self._ff_tick
+        if fam is not None:
+            if not self._full_ticks:
+                # Leaving the always-tick regime: dissolve the chains
+                # and let stock NOHZ arming take over on demand.
+                fam.dissolve()
+                self._ff_tick = None
+            elif fam.interval != self._tick_period:
+                fam.retime(self._tick_period)
 
     def _boot(self) -> None:
         """Create and install the per-CPU idle tasks."""
@@ -265,13 +293,24 @@ class Kernel:
         task.sched_class.task_new(self.rqs[cpu], task)
         if not task.daemon:
             self.live_tasks += 1
+            if self.live_tasks == 1:
+                fam = self._ff_balance
+                if fam is not None and fam.dead_at is not None:
+                    # Revival: kill exactly the parked chains whose next
+                    # serial fire fell in the dead window (where the
+                    # serial chain stopped re-arming).
+                    fam.reap(self.sim.now)
             if self.on_live_change is not None:
                 self.on_live_change(1)
         mask = task.cpus_allowed
         if mask is None or len(mask) > 1:
             self._migratable += 1
-            if self._migratable == 1 and self.on_migratable is not None:
-                self.on_migratable()
+            if self._migratable == 1:
+                fam = self._ff_balance
+                if fam is not None and fam.parked and self._queued_total:
+                    fam.unpark_ready()
+                if self.on_migratable is not None:
+                    self.on_migratable()
         if self.trace is not None:
             self._trace(task, "wake", cpu=cpu)
         self._enqueue(task, cpu, wakeup=False)
@@ -298,6 +337,13 @@ class Kernel:
         rq.current = None
         if not task.daemon:
             self.live_tasks -= 1
+            if self.live_tasks == 0:
+                fam = self._ff_balance
+                if fam is not None and fam.parked:
+                    # Parked chains cannot observe the death at a fire;
+                    # record the window so a revival can reap exactly
+                    # the chains whose serial twin would have died.
+                    fam.mark_dead(self.sim.now)
             if self.on_live_change is not None:
                 self.on_live_change(-1)
         mask = task.cpus_allowed
@@ -375,8 +421,12 @@ class Kernel:
         task.sched_class.enqueue_task(rq, task)
         rq.nr_queued += 1
         self._queued_total += 1
-        if self._queued_total == 1 and self.on_queued_nonempty is not None:
-            self.on_queued_nonempty()
+        if self._queued_total == 1:
+            fam = self._ff_balance
+            if fam is not None and fam.parked:
+                fam.unpark_ready()
+            if self.on_queued_nonempty is not None:
+                self.on_queued_nonempty()
         task.last_enqueue_time = self.sim.now
         self._update_tick(cpu)
 
@@ -438,8 +488,12 @@ class Kernel:
             now = task.cpus_allowed is None or len(task.cpus_allowed) > 1
             if now and not was:
                 self._migratable += 1
-                if self._migratable == 1 and self.on_migratable is not None:
-                    self.on_migratable()
+                if self._migratable == 1:
+                    fam = self._ff_balance
+                    if fam is not None and fam.parked and self._queued_total:
+                        fam.unpark_ready()
+                    if self.on_migratable is not None:
+                        self.on_migratable()
             elif was and not now:
                 self._migratable -= 1
         if task.cpus_allowed is None:
@@ -876,6 +930,17 @@ class Kernel:
     def _update_tick(self, cpu: int) -> None:
         rq = self.rqs[cpu]
         cur = rq.current
+        if self._full_ticks and self.fastforward:
+            # Always-tick regime under fast-forward: the tick is an
+            # immortal chain whose fire is a provable no-op while the
+            # CPU runs its idle task (the body touches only ``current``,
+            # and linear occupancy accrual is banked by update_curr at
+            # every decision point anyway).  Parked while idle; this
+            # call site is the invalidation edge — every install lands
+            # here (see _install), so a CPU going non-idle reinstates
+            # its chain inside the installing event.
+            self._ff_tick_update(cpu, rq, cur)
+            return
         # Every class's needs_tick requires its own queue to be
         # non-empty (RT: a queued best priority; HPC/fair: queued
         # tasks), so an empty runqueue can never need a tick — skip
@@ -894,6 +959,68 @@ class Kernel:
                 label=self._lbl_tick[cpu],
             )
 
+    def _ff_tick_update(self, cpu: int, rq: RunQueue, cur: Optional[Task]) -> None:
+        """Create / reinstate the fast-forward tick chain for ``cpu``
+        (full_ticks mode only; see :meth:`_update_tick`)."""
+        fam = self._ff_tick
+        if fam is None:
+            fam = ChainFamily(self.sim, self._tick_period, EVPRIO_TICK)
+            self._ff_tick = fam
+        chain = fam.chains.get(cpu)
+        idle = cur is None or cur.is_idle_task
+        if chain is None:
+            if rq.tick_event is not None and not rq.tick_event.cancelled:
+                # A stock NOHZ tick armed before full_ticks was switched
+                # on mid-run: the chain replaces it.
+                rq.tick_event.cancel()
+                rq.tick_event = None
+            chain = fam.add(
+                cpu,
+                self._lbl_tick[cpu],
+                self.sim.now + fam.interval,
+                self._tick_inert(rq),
+            )
+            chain.fire = self._tick_chain_fire(cpu, chain)
+            if idle:
+                fam.park(chain)
+            else:
+                fam.arm(chain)
+        elif chain.event is None and not idle:
+            fam.unpark_one(chain)
+
+    @staticmethod
+    def _tick_inert(rq: RunQueue):
+        def inert() -> bool:
+            cur = rq.current
+            return cur is None or cur.is_idle_task
+
+        return inert
+
+    def _tick_chain_fire(self, cpu: int, chain) -> Any:
+        """The fast-forward twin of :meth:`_tick`: identical body,
+        park-or-arm re-arm (bit-exact ``now + period`` chain points)."""
+        sim = self.sim
+        fam = chain.family
+        rq = self.rqs[cpu]
+
+        def fire() -> None:
+            chain.event = None
+            cur = rq.current
+            if cur is not None and not cur.is_idle_task:
+                self.update_curr(rq)
+                cur.sched_class.task_tick(rq, cur)
+            t = sim.now + fam.interval
+            chain.next_time = t
+            cur = rq.current
+            if cur is None or cur.is_idle_task:
+                fam.park(chain)
+            else:
+                chain.event = sim.at(
+                    t, fire, priority=EVPRIO_TICK, label=chain.label
+                )
+
+        return fire
+
     def _tick(self, cpu: int) -> None:
         rq = self.rqs[cpu]
         rq.tick_event = None
@@ -911,6 +1038,28 @@ class Kernel:
             return
         self._balance_started = True
         interval = self._lb_interval
+        if self.fastforward:
+            # Fast-forward chains: arm times, chain arithmetic
+            # (``now + interval`` per re-arm) and the acting path are
+            # bit-identical to the stock chain's; fires are elided only
+            # while the inertness witness holds (nothing queued anywhere
+            # or no migratable task — _steal can then never move work,
+            # so the fire is provably a no-op re-arm).
+            fam = ChainFamily(self.sim, interval, EVPRIO_BALANCE)
+            self._ff_balance = fam
+            now = self.sim.now
+            inert = self._balance_inert
+            for i, cpu in enumerate(self.machine.cpu_ids):
+                offset = interval * (i + 1) / (len(self.machine.cpu_ids) + 1)
+                chain = fam.add(
+                    cpu, self._lbl_balance[cpu], now + offset, inert
+                )
+                chain.fire = self._balance_chain_fire(cpu, chain)
+                if inert():
+                    fam.park(chain)  # born inert: never touches the heap
+                else:
+                    fam.arm(chain)
+            return
         for i, cpu in enumerate(self.machine.cpu_ids):
             offset = interval * (i + 1) / (len(self.machine.cpu_ids) + 1)
             self.sim.after(
@@ -919,6 +1068,36 @@ class Kernel:
                 priority=EVPRIO_BALANCE,
                 label=self._lbl_balance[cpu],
             )
+
+    def _balance_inert(self) -> bool:
+        """Witness that a balance fire is a no-op re-arm: with nothing
+        queued there is nothing to pull, and with no migratable task
+        ``_steal`` cannot move anything (see ``_migratable``)."""
+        return self._queued_total == 0 or self._migratable == 0
+
+    def _balance_chain_fire(self, cpu: int, chain) -> Any:
+        """The fast-forward twin of :meth:`_periodic_balance`: identical
+        guards and acting path, park-or-arm re-arm."""
+        sim = self.sim
+        fam = chain.family
+
+        def fire() -> None:
+            chain.event = None
+            if self.live_tasks <= 0:
+                fam.kill(chain)  # quiesce, as the serial fire would
+                return
+            if self._queued_total:
+                self.balancer.periodic(cpu)
+            t = sim.now + fam.interval
+            chain.next_time = t
+            if self._queued_total == 0 or self._migratable == 0:
+                fam.park(chain)
+            else:
+                chain.event = sim.at(
+                    t, fire, priority=EVPRIO_BALANCE, label=chain.label
+                )
+
+        return fire
 
     def _periodic_balance(self, cpu: int) -> None:
         if self.live_tasks <= 0:

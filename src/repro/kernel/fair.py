@@ -136,7 +136,14 @@ class FairClass(SchedClass):
         pass  # placement happens in task_placed() once the CPU is known
 
     def task_placed(self, rq: "RunQueue", task: "Task") -> None:
-        """Normalize a woken/new task's vruntime against this queue."""
+        """Normalize a woken/new task's vruntime against this queue.
+
+        Reads ``min_vruntime``, which ticks advance via ``update_curr``
+        even for a solo running task — this observation is why the
+        fast-forward engine never elides ticks on a *busy* CPU (its
+        inertness witness is strictly "the CPU is idle"): deferring the
+        accrual would place a waker against a stale floor.
+        """
         q = rq.queue_for(self)
         floor = q.min_vruntime - self._latency
         if task.vruntime < floor:

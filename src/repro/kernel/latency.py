@@ -6,6 +6,12 @@ SIESTA's improvement: an HPC-class task that wakes competes only with
 its own (usually empty) class, while a CFS task competes with everything
 in the system.  This module aggregates those latencies per task and
 globally so experiments can decompose execution-time gains.
+
+The accounting is entirely passive — samples are taken inside the
+enqueue/install events themselves; no latency timer ever exists — so
+the fast-forward engine (:mod:`repro.simcore.fastforward`) needs no
+chain family here: there is nothing to elide, and every elided tick or
+balance fire is invisible to these aggregates by construction.
 """
 
 from __future__ import annotations

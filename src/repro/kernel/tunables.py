@@ -74,7 +74,15 @@ class Tunables:
     def subscribe(self, callback: Callable[[], None]) -> None:
         """Register a zero-argument hook invoked after every successful
         write, so consumers can refresh cached tunable values.  The hook
-        is also invoked once immediately (subscribe == sync now)."""
+        is also invoked once immediately (subscribe == sync now).
+
+        Hooks run *synchronously inside* :meth:`set`, before the writing
+        event returns — the fast-forward engine depends on this: a
+        period change re-times parked timer chains at the exact change
+        instant (``ChainFamily.retime``), so elided fires before the
+        write use the old interval and the first fire after it the new
+        one, exactly like an armed chain reading the tunable at fire
+        time."""
         self._subscribers.append(callback)
         callback()
 

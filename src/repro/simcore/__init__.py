@@ -10,5 +10,18 @@ Time is a float measured in **seconds** of simulated machine time.
 
 from repro.simcore.events import Event, EventQueue
 from repro.simcore.engine import Simulator, SimulationError
+from repro.simcore.fastforward import (
+    ChainFamily,
+    TimerChain,
+    fastforward_enabled,
+)
 
-__all__ = ["Event", "EventQueue", "Simulator", "SimulationError"]
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "SimulationError",
+    "ChainFamily",
+    "TimerChain",
+    "fastforward_enabled",
+]

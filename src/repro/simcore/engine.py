@@ -23,6 +23,7 @@ import heapq
 from typing import Any, Callable, Optional
 
 from repro.simcore.events import Event, EventQueue
+from repro.simcore.fastforward import fastforward_enabled
 
 #: Default ceiling on processed events, generous enough for multi-hundred
 #: simulated seconds of a 4-CPU machine, small enough to catch livelocks.
@@ -36,13 +37,26 @@ class SimulationError(RuntimeError):
 class Simulator:
     """Discrete-event simulator with a float clock in simulated seconds."""
 
-    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS) -> None:
+    def __init__(
+        self,
+        max_events: int = DEFAULT_MAX_EVENTS,
+        fastforward: Optional[bool] = None,
+    ) -> None:
         self.now: float = 0.0
         self.queue = EventQueue()
         self.max_events = max_events
         self.events_processed = 0
         self._running = False
         self._stop_requested = False
+        #: Fast-forward engine flag (REPRO_FASTFORWARD, default on).
+        #: Gates the batched same-instant delivery loop; timer elision
+        #: itself lives with the timer owners (see simcore.fastforward).
+        self.fastforward = fastforward_enabled(fastforward)
+        #: Priority of the event whose callback is currently executing
+        #: (``None`` outside event delivery).  Fast-forward re-arm walks
+        #: use it to order a reinstated chain point that collides with
+        #: ``now`` exactly as the serial heap would have.
+        self.cur_event_prio: Optional[int] = None
         #: Optional runtime oracle (repro.validate.invariants); receives
         #: every delivered event when validation is enabled.  Must be
         #: installed before :meth:`run` — the loop snapshots it.
@@ -141,9 +155,13 @@ class Simulator:
             )
         if self.oracle is not None:
             self.oracle.on_event(ev)
-        ev.fn()
-        if self._deferred:
-            self._run_deferred()
+        self.cur_event_prio = ev.priority
+        try:
+            ev.fn()
+            if self._deferred:
+                self._run_deferred()
+        finally:
+            self.cur_event_prio = None
         return True
 
     def run(
@@ -189,9 +207,61 @@ class Simulator:
         deferred = self._deferred
         processed = self.events_processed
         try:
-            if until is None and oracle is None:
-                # Fast path (production runs without a horizon): pop
-                # directly; cancelled entries are dropped as they surface.
+            if until is None and oracle is None and self.fastforward:
+                # Batched fast path: same-instant events are drained as
+                # one group — the past-check and the clock store are
+                # paid once per distinct timestamp, and each event still
+                # costs exactly one heap access.
+                while not self._stop_requested:
+                    if not heap:
+                        break
+                    entry = heappop(heap)
+                    ev = entry[3]
+                    if ev.cancelled:
+                        queue._corpses -= 1
+                        continue
+                    t = entry[0]
+                    if t < self.now:
+                        raise SimulationError(
+                            f"event {ev!r} scheduled in the past "
+                            f"(now={self.now})"
+                        )
+                    self.now = t
+                    while True:
+                        ev._queue = None
+                        queue._live -= 1
+                        processed += 1
+                        self.events_processed = processed
+                        if processed > max_events:
+                            raise SimulationError(
+                                f"event limit {max_events} exceeded at "
+                                f"t={self.now}: likely a zero-delay "
+                                "event livelock"
+                            )
+                        self.cur_event_prio = entry[1]
+                        ev.fn()
+                        if deferred:
+                            self._run_deferred()
+                        if stop_when is not None and stop_when():
+                            self._stop_requested = True
+                            break
+                        if self._stop_requested:
+                            break
+                        # Same-instant continuation (callbacks may have
+                        # scheduled more work at t, or cancelled some).
+                        ev = None
+                        while heap and heap[0][0] == t:
+                            entry = heappop(heap)
+                            ev = entry[3]
+                            if not ev.cancelled:
+                                break
+                            queue._corpses -= 1
+                            ev = None
+                        if ev is None:
+                            break
+            elif until is None and oracle is None:
+                # Unbatched fast path (fast-forward off): pop directly;
+                # cancelled entries are dropped as they surface.
                 while not self._stop_requested:
                     if not heap:
                         break
@@ -217,6 +287,7 @@ class Simulator:
                             f"t={self.now}: likely a zero-delay event "
                             "livelock"
                         )
+                    self.cur_event_prio = entry[1]
                     ev.fn()
                     if deferred:
                         self._run_deferred()
@@ -259,6 +330,7 @@ class Simulator:
                         )
                     if oracle is not None:
                         oracle.on_event(ev)
+                    self.cur_event_prio = entry[1]
                     ev.fn()
                     if deferred:
                         self._run_deferred()
@@ -273,6 +345,7 @@ class Simulator:
         finally:
             self.events_processed = processed
             self._running = False
+            self.cur_event_prio = None
         return self.now
 
     def stop(self) -> None:

@@ -10,7 +10,10 @@ through :func:`repro.cluster.experiment.run_cluster` and
 
 * per-rank completion times (``rank_exit``) — ``==`` on floats, no
   tolerance: conservative PDES with lookahead windows must not perturb
-  the schedule at all;
+  the schedule at all;  since PR 8 both sides also run the kernel-level
+  fast-forward engine (parked balance/tick chains), so a green suite
+  doubles as the proof that timer elision is semantics-preserving at
+  cluster scale;
 * the MPI message counters (sent/delivered);
 * the reported makespan (``exec_time``).
 

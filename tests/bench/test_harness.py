@@ -44,10 +44,17 @@ def test_cluster_metbench_runs_both_placements():
     assert cluster_metbench(n_nodes=2, iterations=1) > 0
 
 
-def test_cluster_metbench_sharded_elides_events():
+def test_cluster_metbench_elides_events(monkeypatch):
+    # Since PR 8 the kernel-level fast-forward engine parks inert balance
+    # timers in the serial cluster too, so serial and sharded elide
+    # identically; the stock (ff-off) run still pays for every fire.
+    monkeypatch.setenv("REPRO_FASTFORWARD", "1")
     serial = cluster_metbench(n_nodes=4, iterations=1)
     sharded = cluster_metbench_sharded(n_nodes=4, iterations=1, shards=2)
-    assert 0 < sharded < serial  # parked balance timers never fire
+    monkeypatch.setenv("REPRO_FASTFORWARD", "0")
+    stock = cluster_metbench(n_nodes=4, iterations=1)
+    assert 0 < serial < stock
+    assert 0 < sharded <= stock
 
 
 def test_event_storm_wide_sharded_deterministic():
@@ -165,9 +172,11 @@ def test_context_warnings_flag_jobs_and_cpu_mismatch():
     cur = {"jobs": 2, "host_cpus": 4, "benchmarks": {}}
     base = {"jobs": 1, "host_cpus": 8, "benchmarks": {}}
     warnings = harness.context_warnings(cur, base)
-    assert len(warnings) == 2
+    assert len(warnings) == 3
     assert any("jobs" in w for w in warnings)
     assert any("CPU count" in w for w in warnings)
+    # a cpu-count difference is also a fingerprint difference
+    assert any("fingerprint mismatch" in w for w in warnings)
     # pre-metadata reports (no fields) never warn against each other
     assert harness.context_warnings({"benchmarks": {}}, {"benchmarks": {}}) == []
 
@@ -250,6 +259,99 @@ def test_compare_skips_mismatched_params_and_missing_benchmarks():
     assert harness.compare_reports(cur, {"schema": 1, "benchmarks": {}}) == []
     # zero-throughput baselines are skipped, not divided by
     assert harness.compare_reports(_report_dict(500.0), _report_dict(0.0)) == []
+
+
+# ----------------------------------------------------------------------
+# Host fingerprint: cross-host downgrade + wall-time basis
+# ----------------------------------------------------------------------
+def _fp_report(eps, wall=1.0, events=1000, fingerprint=None, **meta):
+    rec = {
+        "events_per_sec": eps,
+        "wall_s": wall,
+        "events": events,
+        "params": {"events": 1000},
+    }
+    out = {
+        "schema": harness.SCHEMA_VERSION,
+        "benchmarks": {"event_storm_chain": rec},
+        **meta,
+    }
+    if fingerprint is not None:
+        out["fingerprint"] = fingerprint
+    return out
+
+
+def test_report_records_host_fingerprint(tiny_report):
+    report, _ = tiny_report
+    data = report.to_dict()
+    fp = data["fingerprint"]
+    assert set(fp) == {"cpus", "kernel", "python"}
+    assert fp["cpus"] == data["host_cpus"]
+    assert fp["python"] == data["python"]
+
+
+def test_fingerprint_derived_from_legacy_metadata():
+    # Pre-PR-8 reports carry no explicit fingerprint; the same host must
+    # still match one derived from host_cpus/platform/python.
+    legacy = {
+        "schema": harness.SCHEMA_VERSION,
+        "benchmarks": {},
+        "host_cpus": 1,
+        "platform": "Linux-6.18.5-fc-v20-x86_64-with-glibc2.36",
+        "python": "3.11.7",
+    }
+    modern = dict(
+        legacy,
+        fingerprint={"cpus": 1, "kernel": "6.18.5-fc-v20", "python": "3.11.7"},
+    )
+    assert harness.fingerprint_of(legacy) == harness.fingerprint_of(modern)
+    assert harness.fingerprints_match(modern, legacy)
+    other = dict(
+        legacy, platform="Linux-5.10.0-generic-x86_64-with-glibc2.31"
+    )
+    assert not harness.fingerprints_match(modern, other)
+
+
+def test_compare_same_fingerprint_still_gates_regressions():
+    fp = {"cpus": 1, "kernel": "6.1.0", "python": "3.11.7"}
+    rows = harness.compare_reports(
+        _fp_report(700.0, fingerprint=fp),
+        _fp_report(1000.0, fingerprint=fp),
+        threshold=0.20,
+    )
+    assert rows[0]["regressed"] is True
+    assert rows[0]["cross_host"] is False
+
+
+def test_compare_cross_fingerprint_downgrades_to_warning():
+    cur = _fp_report(
+        700.0, fingerprint={"cpus": 1, "kernel": "6.1.0", "python": "3.11.7"}
+    )
+    base = _fp_report(
+        1000.0, fingerprint={"cpus": 8, "kernel": "5.10.0", "python": "3.10.2"}
+    )
+    rows = harness.compare_reports(cur, base, threshold=0.20)
+    assert rows[0]["regressed"] is False
+    assert rows[0]["cross_host"] is True
+    warnings = harness.context_warnings(cur, base)
+    assert any("fingerprint mismatch" in w for w in warnings)
+
+
+def test_compare_uses_wall_basis_when_event_counts_differ():
+    # Fast-forward elision legitimately shrinks the event count; the
+    # events/sec ratio would then read as a huge regression.  The diff
+    # must fall back to wall time (and flag the basis).
+    cur = _fp_report(500.0, wall=0.2, events=100)  # 10x fewer events,
+    base = _fp_report(5000.0, wall=1.0, events=1000)  # 5x faster wall
+    rows = harness.compare_reports(cur, base, threshold=0.20)
+    assert rows[0]["basis"] == "wall_s"
+    assert rows[0]["ratio"] == pytest.approx(5.0)
+    assert rows[0]["regressed"] is False
+    # Equal event counts keep the throughput basis.
+    rows = harness.compare_reports(
+        _fp_report(900.0), _fp_report(1000.0), threshold=0.20
+    )
+    assert rows[0]["basis"] == "events_per_sec"
 
 
 # ----------------------------------------------------------------------

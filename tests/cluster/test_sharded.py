@@ -45,7 +45,8 @@ def test_parity_without_hpcsched():
 
 def test_one_shard_is_byte_identical_to_serial():
     """K=1 takes the direct path: not just the same completion times but
-    the exact same event stream (no window machinery, no elision)."""
+    the exact same event stream (no window machinery; both sides run the
+    same kernel-level fast-forward, so they elide identically)."""
     kwargs = dict(loads=ladder_loads(8), iterations=2, n_nodes=2)
     serial = run_cluster("block", **kwargs)
     sharded = run_cluster_sharded("block", shards=1, workers="inline", **kwargs)
@@ -157,6 +158,45 @@ def test_parity_with_barrier_on_equal_loads():
 # ----------------------------------------------------------------------
 # Shard planning
 # ----------------------------------------------------------------------
+def test_resolve_workers_decision_table(monkeypatch):
+    """Pin the ``workers="auto"`` table: explicit modes pass through;
+    auto picks process only for ≥2 shards on a ≥2-CPU host with fork."""
+    import repro.cluster.sharded as sh
+
+    def fake_cpus(n):
+        monkeypatch.setattr(sh, "_usable_cpus", lambda: n)
+
+    fake_cpus(8)
+    # explicit modes are never second-guessed
+    assert sh._resolve_workers("inline", 8) == "inline"
+    assert sh._resolve_workers("process", 1) == "process"
+    with pytest.raises(ValueError):
+        sh._resolve_workers("threads", 4)
+    # auto: single shard has nothing to parallelize
+    assert sh._resolve_workers("auto", 1) == "inline"
+    # auto: multi-shard on a multi-CPU host forks
+    assert sh._resolve_workers("auto", 4) == "process"
+    # auto: a 1-CPU host must not spawn useless worker processes
+    fake_cpus(1)
+    assert sh._resolve_workers("auto", 4) == "inline"
+
+
+def test_resolve_workers_auto_is_affinity_aware(monkeypatch):
+    """``os.cpu_count()`` sees the whole machine; a cpuset-restricted
+    container (1-CPU cgroup on a 64-CPU host) must still pick inline."""
+    import os
+
+    import repro.cluster.sharded as sh
+
+    monkeypatch.setattr(os, "cpu_count", lambda: 64)
+    if hasattr(os, "sched_getaffinity"):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0})
+        assert sh._usable_cpus() == 1
+        assert sh._resolve_workers("auto", 4) == "inline"
+    else:  # pragma: no cover - non-Linux fallback
+        assert sh._usable_cpus() == 64
+
+
 def test_plan_shards_contiguous_and_balanced():
     plan = plan_shards(10, 4)
     nodes = [n for s in range(plan.n_shards) for n in plan.nodes_of(s)]
