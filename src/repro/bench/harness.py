@@ -10,10 +10,19 @@ report (plus the process peak RSS) is written to a schema-versioned
 
 Methodology notes:
 
-* **Best-of-N wall time.**  Shared machines are noisy; the minimum over
-  N rounds is the least-contended observation and the most stable
-  statistic for regression detection.  ``gc.collect()`` runs between
-  rounds so collector debt from one round is not billed to the next.
+* **Best-of-N wall time, median-diffed.**  Shared machines are noisy;
+  the minimum over N rounds is the least-contended observation, but a
+  single lucky round can flatter it, so each record also carries the
+  *median* wall time and the coefficient of variation across rounds,
+  and :func:`compare_reports` prefers the median ruler whenever both
+  reports provide it (falling back to best-of-N against pre-schema-2
+  baselines).  ``gc.collect()`` runs between rounds so collector debt
+  from one round is not billed to the next.
+* **Unmeasured profiled pass.**  ``--profile`` runs one *extra* pass of
+  each benchmark with an :class:`repro.simcore.profile.EventProfiler`
+  active and attaches the per-event-type cost table to the record.  The
+  profiled pass is never timed: the observer overhead (two
+  ``perf_counter`` calls per event) must not pollute the wall numbers.
 * **Identical storm sizes in quick and full mode.**  ``--quick`` only
   trims the experiment suite and the round count, never the storm event
   counts, so throughput numbers stay comparable across modes.
@@ -29,6 +38,7 @@ from __future__ import annotations
 import gc
 import json
 import platform
+import statistics
 import sys
 import time
 from dataclasses import dataclass, field
@@ -58,8 +68,15 @@ from repro.bench.scenarios import (
 
 #: Bump on any incompatible change to the report layout.  (Additive
 #: fields — ``jobs``, ``host_cpus``, the sharded scenarios — do not
-#: bump it: old reports stay loadable and diffable.)
-SCHEMA_VERSION = 1
+#: bump it: old reports stay loadable and diffable.)  Schema 2 added
+#: the round statistics (``wall_median_s``, ``wall_cv``,
+#: ``events_per_sec_median``) and the optional ``profile`` table; v1
+#: reports remain loadable (see :data:`SUPPORTED_SCHEMAS`) and diffs
+#: against them fall back to the best-of-N ruler.
+SCHEMA_VERSION = 2
+
+#: Schemas :func:`load_report` accepts.
+SUPPORTED_SCHEMAS = frozenset({1, 2})
 
 #: Default regression threshold: fail when a benchmark's events/sec
 #: drops more than this fraction below the baseline.
@@ -102,17 +119,32 @@ class BenchRecord:
     events_per_sec: float
     rounds: int
     params: Dict[str, object] = field(default_factory=dict)
+    #: Median wall time over the rounds (the diff ruler since schema 2).
+    wall_median_s: float = 0.0
+    #: Coefficient of variation (stdev/mean) of the round wall times —
+    #: a noise gauge for the host; 0.0 for single-round entries.
+    wall_cv: float = 0.0
+    events_per_sec_median: float = 0.0
+    #: Per-event-type cost table from the unmeasured ``--profile`` pass
+    #: (type → {count, total_us, mean_us}); absent without --profile.
+    profile: Optional[Dict[str, object]] = None
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready form of this record."""
-        return {
+        out: Dict[str, object] = {
             "name": self.name,
             "wall_s": self.wall_s,
             "events": self.events,
             "events_per_sec": self.events_per_sec,
             "rounds": self.rounds,
             "params": self.params,
+            "wall_median_s": self.wall_median_s,
+            "wall_cv": self.wall_cv,
+            "events_per_sec_median": self.events_per_sec_median,
         }
+        if self.profile is not None:
+            out["profile"] = self.profile
+        return out
 
 
 def host_cpu_count() -> int:
@@ -230,18 +262,38 @@ class BenchReport:
         return out
 
 
-def _measure(fn: Callable[[], int], rounds: int) -> Tuple[float, int]:
-    """Best wall time over ``rounds`` calls, plus the event count."""
-    best = float("inf")
+def _measure(
+    fn: Callable[[], int], rounds: int
+) -> Tuple[float, float, float, int]:
+    """(best, median, cv, events) of the wall times over ``rounds``."""
+    times: List[float] = []
     events = 0
     for _ in range(max(1, rounds)):
         gc.collect()
         t0 = time.perf_counter()
         events = fn()
-        dt = time.perf_counter() - t0
-        if dt < best:
-            best = dt
-    return best, events
+        times.append(time.perf_counter() - t0)
+    best = min(times)
+    median = statistics.median(times)
+    if len(times) > 1:
+        mean = sum(times) / len(times)
+        cv = statistics.stdev(times) / mean if mean > 0 else 0.0
+    else:
+        cv = 0.0
+    return best, median, cv, events
+
+
+def _profile_pass(fn: Callable[[], int]) -> Dict[str, object]:
+    """One extra, unmeasured run of ``fn`` with the event profiler
+    active; returns the per-event-type cost table."""
+    from repro.simcore.profile import activate_profiler, deactivate_profiler
+
+    profiler = activate_profiler()
+    try:
+        fn()
+    finally:
+        deactivate_profiler()
+    return profiler.snapshot()
 
 
 def _record(
@@ -249,9 +301,11 @@ def _record(
     fn: Callable[[], int],
     rounds: int,
     params: Dict[str, object],
+    profiled: bool = False,
 ) -> BenchRecord:
-    wall, events = _measure(fn, rounds)
+    wall, median, cv, events = _measure(fn, rounds)
     eps = events / wall if wall > 0 else 0.0
+    eps_median = events / median if median > 0 else 0.0
     return BenchRecord(
         name=name,
         wall_s=round(wall, 6),
@@ -259,6 +313,10 @@ def _record(
         events_per_sec=round(eps, 1),
         rounds=rounds,
         params=params,
+        wall_median_s=round(median, 6),
+        wall_cv=round(cv, 4),
+        events_per_sec_median=round(eps_median, 1),
+        profile=_profile_pass(fn) if profiled else None,
     )
 
 
@@ -393,12 +451,16 @@ def _entry_spec(
 
 
 def _exec_entry(
-    name: str, rounds: int, quick: bool, storm_events: int
+    name: str,
+    rounds: int,
+    quick: bool,
+    storm_events: int,
+    profiled: bool = False,
 ) -> Dict[str, object]:
     """Measure one named benchmark; returns the record as a plain dict
     (this runs inside a worker process under ``--jobs``)."""
     fn, params = _entry_spec(name, quick, storm_events)
-    return _record(name, fn, rounds, params).to_dict()
+    return _record(name, fn, rounds, params, profiled=profiled).to_dict()
 
 
 def _plan(
@@ -474,6 +536,7 @@ def run_suite(
     progress: Optional[Callable[[str], None]] = None,
     scenarios: Optional[Sequence[str]] = None,
     jobs: int = 1,
+    profiled: bool = False,
 ) -> BenchReport:
     """Run the bench suite (or a subset) and return the report.
 
@@ -491,6 +554,10 @@ def run_suite(
     other reports measured with the same ``jobs`` on the same host —
     both are recorded in the report and :func:`context_warnings` flags
     diffs across mismatched configurations.
+
+    ``profiled`` adds one unmeasured pass per benchmark with the event
+    profiler active and attaches the per-event-type cost table to each
+    record (``repro bench --profile``).
     """
     if rounds is None:
         rounds = 3 if quick else 5
@@ -512,7 +579,9 @@ def run_suite(
         done: Dict[str, BenchRecord] = {}
         with ProcessPoolExecutor(max_workers=min(jobs, len(plan))) as pool:
             futures = {
-                pool.submit(_exec_entry, name, n_rounds, quick, storm_events): name
+                pool.submit(
+                    _exec_entry, name, n_rounds, quick, storm_events, profiled
+                ): name
                 for name, n_rounds in plan
             }
             for fut in as_completed(futures):
@@ -523,7 +592,7 @@ def run_suite(
             report.records[name] = done[name]
     else:
         for name, n_rounds in plan:
-            rec = BenchRecord(**_exec_entry(name, n_rounds, quick, storm_events))  # type: ignore[arg-type]
+            rec = BenchRecord(**_exec_entry(name, n_rounds, quick, storm_events, profiled))  # type: ignore[arg-type]
             report.records[name] = rec
             say(_progress_line(rec))
 
@@ -550,9 +619,10 @@ def load_report(path: Path) -> Dict[str, object]:
     data = json.loads(Path(path).read_text())
     if not isinstance(data, dict) or "schema" not in data:
         raise BenchFormatError(f"{path}: not a bench report")
-    if data["schema"] != SCHEMA_VERSION:
+    if data["schema"] not in SUPPORTED_SCHEMAS:
         raise BenchFormatError(
-            f"{path}: schema {data['schema']} != supported {SCHEMA_VERSION}"
+            f"{path}: schema {data['schema']} not in supported "
+            f"{sorted(SUPPORTED_SCHEMAS)}"
         )
     if not isinstance(data.get("benchmarks"), dict):
         raise BenchFormatError(f"{path}: missing benchmarks table")
@@ -624,14 +694,19 @@ def compare_reports(
 
     Two rules keep the ratios honest:
 
-    * **Basis.**  Normally the ratio is current/baseline events-per-sec.
-      When the same workload processed a *different number of events*
-      (the fast-forward engine elides inert timers, so event counts
+    * **Basis.**  Normally the ratio is current/baseline events-per-sec,
+      computed from the *median*-round numbers when both reports carry
+      them (schema 2) and from the best-of-N numbers otherwise — a
+      single lucky round flatters the minimum, so the median is the
+      fairer ruler whenever it is available on both sides.  When the
+      same workload processed a *different number of events* (the
+      fast-forward engine elides inert timers, so event counts
       legitimately change across engine versions), throughput is the
       wrong ruler — eliding 90% of the events "loses" 90% of the
       numerator — and the row falls back to the wall-time ratio
       (baseline/current, same orientation).  ``basis`` records which
-      ruler was used (``events_per_sec`` or ``wall_s``).
+      ruler was used (``events_per_sec[_median]`` or
+      ``wall_s``/``wall_median_s``).
     * **Cross-host downgrade.**  When the reports' host fingerprints
       differ (``same_host`` defaults to :func:`fingerprints_match`),
       a drop beyond the threshold sets ``cross_host`` instead of
@@ -651,21 +726,32 @@ def compare_reports(
         if cur.get("params") != base.get("params"):
             continue  # not comparable (different sizes/iterations)
         cur_events, base_events = cur.get("events"), base.get("events")
+
+        def pick(field_median: str, field_best: str) -> Tuple[str, float, float]:
+            # Median ruler only when BOTH reports carry it (a v1
+            # baseline has no medians; comparing its best against a
+            # median would bias the ratio).
+            cm = float(cur.get(field_median, 0.0) or 0.0)
+            bm = float(base.get(field_median, 0.0) or 0.0)
+            if cm > 0 and bm > 0:
+                return field_median, cm, bm
+            return field_best, float(cur.get(field_best, 0.0) or 0.0), float(
+                base.get(field_best, 0.0) or 0.0
+            )
+
         if (
             cur_events is not None
             and base_events is not None
             and cur_events != base_events
         ):
-            basis = "wall_s"
-            cur_val = float(cur.get("wall_s", 0.0))
-            base_val = float(base.get("wall_s", 0.0))
+            basis, cur_val, base_val = pick("wall_median_s", "wall_s")
             if cur_val <= 0 or base_val <= 0:
                 continue
             ratio = base_val / cur_val
         else:
-            basis = "events_per_sec"
-            cur_val = float(cur.get("events_per_sec", 0.0))
-            base_val = float(base.get("events_per_sec", 0.0))
+            basis, cur_val, base_val = pick(
+                "events_per_sec_median", "events_per_sec"
+            )
             if base_val <= 0:
                 continue
             ratio = cur_val / base_val

@@ -227,6 +227,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "in the report; diffs against a report measured with a "
         "different jobs/CPU configuration print a warning)",
     )
+    ben.add_argument(
+        "--profile", action="store_true",
+        help="add one unmeasured pass per benchmark with the "
+        "per-event-type cost profiler active; the count/total-µs table "
+        "is attached to each record and printed after the run",
+    )
     clu = sub.add_parser(
         "cluster",
         help="run the multi-node gang-scheduling experiment "
@@ -1035,12 +1041,26 @@ def _bench(args) -> int:
             label=args.label,
             rounds=args.rounds,
             jobs=args.jobs,
+            profiled=args.profile,
             progress=lambda line: print(f"  {line}"),
             **kwargs,
         )
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
+
+    if args.profile:
+        print("\nper-event-type costs (unmeasured profiled pass):")
+        for name, rec in report.records.items():
+            if not rec.profile:
+                continue
+            print(f"  {name}:")
+            for etype, row in rec.profile.items():
+                print(
+                    f"    {etype:<16} {row['count']:>9,} events  "
+                    f"{row['total_us']:>12,.0f} µs  "
+                    f"({row['mean_us']:.2f} µs/event)"
+                )
 
     if args.baseline is not None:
         baseline_path = Path(args.baseline)
@@ -1073,7 +1093,7 @@ def _bench(args) -> int:
                     mark = "warn (cross-host, not gated)"
                 else:
                     mark = "ok"
-                if row.get("basis") == "wall_s":
+                if str(row.get("basis", "")).startswith("wall_"):
                     detail = (
                         f"({row['current'] * 1e3:,.1f} vs "
                         f"{row['baseline'] * 1e3:,.1f} ms wall)"

@@ -581,16 +581,13 @@ class ShardEngine:
             return min(ev.time for ev in pending)
         label_kernel = self._label_kernel
         best = _INF
-        for entry in self.sim.queue._heap:
-            if entry[0] >= best:
-                continue
-            ev = entry[3]
-            if ev.cancelled:
+        for t, ev in self.sim.queue.iter_entries():
+            if t >= best:
                 continue
             kernel = label_kernel.get(ev.label)
             if kernel is not None and kernel._queued_total == 0:
                 continue
-            best = entry[0]
+            best = t
         return best
 
     def _report(self) -> WindowReport:

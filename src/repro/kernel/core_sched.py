@@ -99,6 +99,19 @@ class Kernel:
         self._lbl_resched = {c: f"resched/{c}" for c in self.machine.cpu_ids}
         self._lbl_tick = {c: f"tick/{c}" for c in self.machine.cpu_ids}
         self._lbl_balance = {c: f"balance/{c}" for c in self.machine.cpu_ids}
+        #: One reschedule closure per CPU, built once — resched() is the
+        #: hottest event producer and per-call lambda allocation shows up
+        #: in profiles.
+        self._resched_fns = {
+            c: (lambda c=c: self._resched_fire(c)) for c in self.machine.cpu_ids
+        }
+        #: Cancel a CPU's still-pending resched event when __schedule
+        #: runs through a direct path (exit/block/migrate) — the event
+        #: would fire as a need_resched=False no-op anyway.  Only the
+        #: accelerated core does this: cancelling frees a bucket slot
+        #: there, while the heap core's lazy-deletion queue gains nothing
+        #: over the no-op delivery.
+        self._coalesce_resched = getattr(self.sim, "core", "heap") == "fast"
         self.tunables.subscribe(self._refresh_tunable_cache)
 
         #: Simulated performance counters (decode shares, ST time, ...),
@@ -577,7 +590,7 @@ class Kernel:
         if rq.resched_event is None or rq.resched_event.cancelled:
             rq.resched_event = self.sim.at(
                 self.sim.now,
-                lambda: self._resched_fire(cpu),
+                self._resched_fns[cpu],
                 priority=EVPRIO_RESCHED,
                 label=self._lbl_resched[cpu],
             )
@@ -606,6 +619,11 @@ class Kernel:
         """Pick the best runnable task on ``cpu`` and switch to it."""
         rq = self.rqs[cpu]
         rq.need_resched = False
+        if self._coalesce_resched:
+            ev = rq.resched_event
+            if ev is not None:
+                rq.resched_event = None
+                ev.cancel()
         prev = rq.current
 
         # A still-runnable prev (preemption path) goes back to its queue —
@@ -781,30 +799,59 @@ class Kernel:
 
     def _drain_rate_changes(self) -> None:
         """Rebase the phases of every dirty core's contexts (deferred
-        from :meth:`_rates_changed`; runs once per delivered event)."""
+        from :meth:`_rates_changed`; runs once per delivered event).
+
+        The dirty set is drained in batches: snapshot, clear, process —
+        same insertion order as the previous one-at-a-time pop, but the
+        dict is touched twice per drain instead of twice per core.  When
+        both of a core's contexts carry a running mid-phase task, their
+        rates come from one :meth:`SMTCore.context_speeds` pair call
+        (one memo hit in the table-driven model) instead of two mirrored
+        ``context_speed`` calls; rebasing never mutates SMT state, so
+        computing both rates up front is exact.
+        """
         dirty = self._dirty_cores
         now = self.sim.now
         advance = self.pmu.advance_core if self.pmu_enabled else None
+        running = TaskState.RUNNING
         while dirty:
-            core_id = next(iter(dirty))
-            core, skip_ctx = dirty.pop(core_id)
-            if advance is not None:
-                # Attribute the elapsed interval to the pre-change state.
-                advance(core, now)
-            for ctx in core.contexts:
-                if ctx is skip_ctx:
-                    continue
-                t = ctx.task
-                if (
-                    t is None
-                    or not ctx.busy
-                    or t.state != TaskState.RUNNING
-                    or t.phase_started_at is None
+            batch = list(dirty.values())
+            dirty.clear()
+            for core, skip_ctx in batch:
+                if advance is not None:
+                    # Attribute the elapsed interval to the pre-change
+                    # state.
+                    advance(core, now)
+                c0, c1 = core.contexts
+                t0 = c0.task if c0 is not skip_ctx else None
+                if t0 is not None and (
+                    not c0.busy
+                    or t0.state != running
+                    or t0.phase_started_at is None
                 ):
-                    continue
-                self._rebase_phase(ctx.cpu_id, t)
+                    t0 = None
+                t1 = c1.task if c1 is not skip_ctx else None
+                if t1 is not None and (
+                    not c1.busy
+                    or t1.state != running
+                    or t1.phase_started_at is None
+                ):
+                    t1 = None
+                if t0 is not None:
+                    if t1 is not None:
+                        r0, r1 = core.context_speeds(
+                            t0.perf_profile, t1.perf_profile
+                        )
+                        self._rebase_phase(c0.cpu_id, t0, r0)
+                        self._rebase_phase(c1.cpu_id, t1, r1)
+                    else:
+                        self._rebase_phase(c0.cpu_id, t0)
+                elif t1 is not None:
+                    self._rebase_phase(c1.cpu_id, t1)
 
-    def _rebase_phase(self, cpu: int, task: Task) -> None:
+    def _rebase_phase(
+        self, cpu: int, task: Task, rate: Optional[float] = None
+    ) -> None:
         """Re-anchor a RUNNING task's in-flight phase to its context's
         current speed, reusing the pending completion event when it can
         still fire (lazy ETA revalidation, DESIGN §8).
@@ -822,8 +869,9 @@ class Kernel:
         * stall (rate 0): no completion is owed until a future change.
         """
         now = self.sim.now
-        ctx = self._ctxs[cpu]
-        rate = ctx.core.context_speed(ctx.thread_index, task.perf_profile)
+        if rate is None:
+            ctx = self._ctxs[cpu]
+            rate = ctx.core.context_speed(ctx.thread_index, task.perf_profile)
         started = task.phase_started_at
         if rate == task.phase_rate and started is not None and started <= now:
             return

@@ -96,6 +96,23 @@ class SMTCore:
             sibling_busy=sib.busy,
         )
 
+    def context_speeds(
+        self, profile0: PerfProfile, profile1: PerfProfile
+    ) -> "tuple[float, float]":
+        """Both contexts' current speeds in one model call (the
+        rate-propagation drain's dual-running fast path).  Exactly
+        equivalent to ``(context_speed(0, profile0),
+        context_speed(1, profile1))``."""
+        c0, c1 = self.contexts
+        return self.perf_model.speed_pair(
+            profile0,
+            profile1,
+            int(c0.priority),
+            int(c1.priority),
+            c0.busy,
+            c1.busy,
+        )
+
     def st_mode(self) -> bool:
         """Whether the core is effectively running a single thread."""
         busy = [ctx for ctx in self.contexts if ctx.busy]

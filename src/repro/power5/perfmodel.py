@@ -172,6 +172,26 @@ class PerformanceModel(ABC):
         """Speed when the core is effectively in single-thread mode."""
         return profile.st_speedup
 
+    def speed_pair(
+        self,
+        profile_a: PerfProfile,
+        profile_b: PerfProfile,
+        prio_a: int,
+        prio_b: int,
+        busy_a: bool,
+        busy_b: bool,
+    ) -> "tuple[float, float]":
+        """Both contexts' speeds in one call — the rate-propagation drain
+        uses this when a core has two running tasks, so implementations
+        can answer the pair from a single lookup instead of two
+        independent ``speed`` calls with mirrored arguments.  The default
+        simply composes :meth:`speed` twice (exactness by construction
+        for any model)."""
+        return (
+            self.speed(profile_a, prio_a, prio_b, busy_b),
+            self.speed(profile_b, prio_b, prio_a, busy_a),
+        )
+
 
 class TableDrivenModel(PerformanceModel):
     """Calibrated lookup on the priority difference (primary model)."""
@@ -182,6 +202,9 @@ class TableDrivenModel(PerformanceModel):
         # keeps every keyed profile alive so an id cannot be recycled.
         self._memo: dict = {}
         self._memo_pins: list = []
+        #: Pair-call memo (see :meth:`speed_pair`): one dict hit answers
+        #: both contexts of a dual-running core.
+        self._pair_memo: dict = {}
 
     def speed(
         self,
@@ -216,6 +239,28 @@ class TableDrivenModel(PerformanceModel):
             return self.st_speed(profile)
         dprio = int(own_priority) - int(sibling_priority)
         return profile.table_speed(dprio)
+
+    def speed_pair(
+        self,
+        profile_a: PerfProfile,
+        profile_b: PerfProfile,
+        prio_a: int,
+        prio_b: int,
+        busy_a: bool,
+        busy_b: bool,
+    ) -> "tuple[float, float]":
+        key = (id(profile_a), id(profile_b), prio_a, prio_b, busy_a, busy_b)
+        hit = self._pair_memo.get(key)
+        if hit is not None:
+            return hit
+        pair = (
+            self.speed(profile_a, prio_a, prio_b, busy_b),
+            self.speed(profile_b, prio_b, prio_a, busy_a),
+        )
+        self._pair_memo[key] = pair
+        self._memo_pins.append(profile_a)
+        self._memo_pins.append(profile_b)
+        return pair
 
 
 class DecodeShareModel(PerformanceModel):

@@ -10,10 +10,22 @@ Time is a float measured in **seconds** of simulated machine time.
 
 from repro.simcore.events import Event, EventQueue
 from repro.simcore.engine import Simulator, SimulationError
+from repro.simcore.fastcore import (
+    FastEvent,
+    FastEventQueue,
+    FastSimulator,
+    fastcore_enabled,
+)
 from repro.simcore.fastforward import (
     ChainFamily,
     TimerChain,
     fastforward_enabled,
+)
+from repro.simcore.profile import (
+    EventProfiler,
+    activate_profiler,
+    deactivate_profiler,
+    get_active_profiler,
 )
 
 __all__ = [
@@ -21,7 +33,15 @@ __all__ = [
     "EventQueue",
     "Simulator",
     "SimulationError",
+    "FastEvent",
+    "FastEventQueue",
+    "FastSimulator",
+    "fastcore_enabled",
     "ChainFamily",
     "TimerChain",
     "fastforward_enabled",
+    "EventProfiler",
+    "activate_profiler",
+    "deactivate_profiler",
+    "get_active_profiler",
 ]

@@ -20,10 +20,12 @@ for external single-stepping; both paths have identical semantics.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter as _perf_counter
 from typing import Any, Callable, Optional
 
 from repro.simcore.events import Event, EventQueue
 from repro.simcore.fastforward import fastforward_enabled
+from repro.simcore.profile import get_active_profiler
 
 #: Default ceiling on processed events, generous enough for multi-hundred
 #: simulated seconds of a 4-CPU machine, small enough to catch livelocks.
@@ -35,12 +37,33 @@ class SimulationError(RuntimeError):
 
 
 class Simulator:
-    """Discrete-event simulator with a float clock in simulated seconds."""
+    """Discrete-event simulator with a float clock in simulated seconds.
+
+    Constructing ``Simulator(...)`` dispatches to the accelerated
+    bucketed core (:class:`repro.simcore.fastcore.FastSimulator`) unless
+    ``core="heap"`` or ``REPRO_FASTCORE=0`` selects this heap engine;
+    both cores deliver identical event sequences (enforced by the
+    validation oracle stack) and expose the same API, so callers never
+    need to know which one they got — ``.core`` says.
+    """
+
+    def __new__(cls, *args, **kwargs):
+        if cls is Simulator:
+            core = kwargs.get("core")
+            if core is None and len(args) >= 3:
+                core = args[2]
+            # Imported lazily: fastcore imports this module.
+            from repro.simcore.fastcore import FastSimulator, fastcore_enabled
+
+            if fastcore_enabled(core):
+                return super().__new__(FastSimulator)
+        return super().__new__(cls)
 
     def __init__(
         self,
         max_events: int = DEFAULT_MAX_EVENTS,
         fastforward: Optional[bool] = None,
+        core: Optional[str] = None,
     ) -> None:
         self.now: float = 0.0
         self.queue = EventQueue()
@@ -48,6 +71,19 @@ class Simulator:
         self.events_processed = 0
         self._running = False
         self._stop_requested = False
+        #: Which engine implementation this instance is ("heap"/"fast").
+        self.core = "heap"
+        #: Count of fast-forward chain-family users attached to this
+        #: simulator (kernels bump it at construction).  The accelerated
+        #: core's storm stage checks it per instant so that a kernel
+        #: created *inside* an event (e.g. a campaign spawn) flips the
+        #: engine into priority-tracked delivery before any chain family
+        #: can read ``cur_event_prio``.
+        self._ff_users = 0
+        #: Per-event-type profiler (``bench --profile``); snapshot of the
+        #: module-level active profiler at construction.  When set, the
+        #: run loops take the general (per-event timed) path.
+        self.profiler = get_active_profiler()
         #: Fast-forward engine flag (REPRO_FASTFORWARD, default on).
         #: Gates the batched same-instant delivery loop; timer elision
         #: itself lives with the timer owners (see simcore.fastforward).
@@ -204,10 +240,16 @@ class Simulator:
         heappop = heapq.heappop
         max_events = self.max_events
         oracle = self.oracle
+        profiler = self.profiler
         deferred = self._deferred
         processed = self.events_processed
         try:
-            if until is None and oracle is None and self.fastforward:
+            if (
+                until is None
+                and oracle is None
+                and profiler is None
+                and self.fastforward
+            ):
                 # Batched fast path: same-instant events are drained as
                 # one group — the past-check and the clock store are
                 # paid once per distinct timestamp, and each event still
@@ -259,7 +301,7 @@ class Simulator:
                             ev = None
                         if ev is None:
                             break
-            elif until is None and oracle is None:
+            elif until is None and oracle is None and profiler is None:
                 # Unbatched fast path (fast-forward off): pop directly;
                 # cancelled entries are dropped as they surface.
                 while not self._stop_requested:
@@ -331,7 +373,12 @@ class Simulator:
                     if oracle is not None:
                         oracle.on_event(ev)
                     self.cur_event_prio = entry[1]
-                    ev.fn()
+                    if profiler is None:
+                        ev.fn()
+                    else:
+                        t0 = _perf_counter()
+                        ev.fn()
+                        profiler.record(ev.label, _perf_counter() - t0)
                     if deferred:
                         self._run_deferred()
                     if stop_when is not None and stop_when():

@@ -193,3 +193,13 @@ class EventQueue:
         heap.  Used by the validate invariants to assert they agree."""
         actual = sum(1 for entry in self._heap if not entry[3].cancelled)
         return self._live, actual
+
+    def iter_entries(self):
+        """Yield ``(time, event)`` for every pending event, in no
+        particular order.  Queue-implementation-agnostic introspection
+        (the accelerated core's queue offers the same method), used by
+        consumers that would otherwise walk ``_heap`` directly."""
+        for entry in self._heap:
+            ev = entry[3]
+            if not ev.cancelled:
+                yield entry[0], ev

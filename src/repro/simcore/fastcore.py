@@ -1,0 +1,933 @@
+"""Accelerated serial core: slotted event buckets behind the EventQueue API.
+
+The heap engine (:mod:`repro.simcore.engine`) pays one heap sift per
+delivered event — tuple allocation plus ~log-n C-level compares per
+push and pop.  This module replaces the single heap with a two-level
+structure exploiting what event storms actually look like: *many events
+share an instant* (same-instant bursts of phase completions, wakeups
+and rescheds) and *most pushes carry priority 0*.
+
+* ``FastEventQueue`` keys a dict of **buckets** by exact float timestamp
+  and keeps the distinct timestamps in a small ``heapq``.  A bucket is
+  either a single :class:`FastEvent` (stored inline — the common case
+  for spread-out timers) or a plain list of them.  Pushing into an
+  existing instant is an O(1) dict hit + list append; only the *first*
+  event of an instant pays a heap push, and the heap holds timestamps,
+  not events, so it stays small.
+* ``FastEvent`` is a 5-slot ``list`` subclass ``[order, fn, time, label,
+  queue]``.  ``order`` folds ``(priority, seq)`` into one integer
+  (``priority * SEQ_SPAN + seq``), so sorting a bucket compares plain
+  ints in C.  Cancellation is ``fn is None``; the queue slot doubles as
+  the lifecycle marker: the owning queue while pending, ``False`` once
+  delivered, ``None`` once cancelled.  No wrapper tuple, no ``__dict__``.
+* **Lazy sortedness.**  An append extends a sorted bucket iff the
+  current tail does not outrank the new event, and the packed-order
+  compare (``b[-1][0] > order``) is that exact condition — so in-order
+  cascades (monotonic priority-0 seq, or a resched storm appending p5
+  after p5) never flag and never sort.  A push whose tail outranks it
+  flags the timestamp in ``_unsorted`` and the drain sorts once per
+  flagged instant.  The invariant (proof in DESIGN §13): after every
+  push the bucket is either sorted or flagged — a flagged bucket stays
+  flagged until the drain sorts it, and an unflagged bucket only ever
+  received in-order appends.
+
+Delivery order is identical to the heap engine's: all events of the
+earliest instant, in ``(priority, seq)`` order, including events pushed
+*at* that instant mid-drain (the drain iterates the live bucket list, so
+same-instant appends are picked up and re-sorted into the undelivered
+tail).  Equivalence is enforced by the oracle stack: goldens, the
+differential fuzzer, sharded parity and the hypothesis property suite in
+``tests/simcore/test_fastcore_queue_property.py``.
+
+Selection: ``REPRO_FASTCORE`` (default on) or ``Simulator(core=...)``;
+``Simulator.__new__`` dispatches construction to :class:`FastSimulator`
+(see engine.py), so existing call sites get the fast core transparently
+and ``Simulator(core="heap")`` / ``REPRO_FASTCORE=0`` opt out.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import time as _time
+from typing import Any, Callable, Iterator, Optional, Tuple
+
+from repro.simcore.engine import (
+    DEFAULT_MAX_EVENTS,
+    SimulationError,
+    Simulator,
+)
+
+#: Environment switch for the accelerated core (default on).
+ENV_FLAG = "REPRO_FASTCORE"
+
+_OFF_VALUES = ("", "0", "false", "off", "no")
+
+#: ``order = priority * SEQ_SPAN + seq`` packs the (priority, seq)
+#: tie-break into one int.  2^48 sequence numbers per priority level is
+#: unreachable (the engine's event limit trips several orders of
+#: magnitude earlier), and floor division recovers negative priorities
+#: exactly, so the packing is lossless.
+SEQ_SPAN = 1 << 48
+
+
+def fastcore_enabled(override: Optional[str] = None) -> bool:
+    """Resolve the core selection: an explicit ``core=`` argument wins
+    (``"fast"``/``"heap"``), then ``REPRO_FASTCORE``, then the default
+    (on)."""
+    if override is not None:
+        if override not in ("fast", "heap"):
+            raise ValueError(f"core must be 'fast' or 'heap', not {override!r}")
+        return override == "fast"
+    value = os.environ.get(ENV_FLAG)
+    if value is None:
+        return True
+    return value.strip().lower() not in _OFF_VALUES
+
+
+def _stop_sentinel() -> None:
+    """Injected into the deferred list by :meth:`FastSimulator.stop` so
+    the storm drain's single ``if deferred:`` test observes the stop
+    without a per-event ``_stop_requested`` attribute load."""
+
+
+class FastEvent(list):
+    """A scheduled callback, API-compatible with
+    :class:`repro.simcore.events.Event`.
+
+    Layout: ``[order, fn, time, label, queue]``.  The queue slot is the
+    owning :class:`FastEventQueue` while pending, ``False`` after
+    delivery, ``None`` after cancellation (or ``clear()``); the
+    delivered/cancelled distinction lets a mid-drain ``clear()``
+    reconcile the engine's batched counters exactly.
+
+    The inherited C list comparison orders same-instant events by their
+    packed ``order`` int (all a bucket sort ever compares); it is *not*
+    meaningful across different timestamps — order events by ``.time``
+    first, as :class:`Event` consumers already do.
+    """
+
+    __slots__ = ()
+
+    @property
+    def time(self) -> float:
+        return self[2]
+
+    @property
+    def priority(self) -> int:
+        return self[0] // SEQ_SPAN
+
+    @property
+    def seq(self) -> int:
+        return self[0] % SEQ_SPAN
+
+    @property
+    def fn(self):
+        return self[1]
+
+    @property
+    def label(self) -> str:
+        return self[3]
+
+    @property
+    def cancelled(self) -> bool:
+        return self[1] is None
+
+    @property
+    def active(self) -> bool:
+        return self[1] is not None
+
+    @property
+    def _queue(self):
+        q = self[4]
+        return q if q.__class__ is FastEventQueue else None
+
+    def cancel(self) -> None:
+        """Mark the event so the queue discards it instead of firing it."""
+        if self[1] is None:
+            return
+        self[1] = None
+        q = self[4]
+        if q.__class__ is FastEventQueue:
+            # Pending: keep the queue's counters exact.  A post-delivery
+            # cancel leaves the delivered marker (False) in place so the
+            # mid-drain clear() reconciliation still counts the event as
+            # delivered.
+            self[4] = None
+            q._cancelled += 1
+            corpses = q._corpses + 1
+            if corpses > 64 and corpses > len(q) and not q._draining:
+                q._compact()
+            else:
+                q._corpses = corpses
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "cancelled" if self[1] is None else "pending"
+        return (
+            f"<FastEvent t={self[2]:.9f} prio={self[0] // SEQ_SPAN} "
+            f"{self[3]!r} {state}>"
+        )
+
+
+class FastEventQueue:
+    """Bucketed priority queue, API-compatible with
+    :class:`repro.simcore.events.EventQueue`.
+
+    ``len()`` is derived — ``pushed - delivered - cancelled`` — so the
+    push path maintains a single counter.  In exchange, delivery updates
+    are *batched per instant* inside the storm stage of
+    :meth:`FastSimulator.run`; the counters are exact at every instant
+    boundary, and at every event boundary in the general stage (which
+    the validation oracle observes).
+    """
+
+    __slots__ = (
+        "_buckets",
+        "_times",
+        "_seq",
+        "_delivered",
+        "_cancelled",
+        "_corpses",
+        "_unsorted",
+        "_draining",
+        "_drain_bucket",
+        "_clear_epoch",
+        "_flushed",
+    )
+
+    def __init__(self) -> None:
+        #: time -> FastEvent (singleton instant) or list of FastEvents.
+        self._buckets: dict = {}
+        #: Distinct pending timestamps (heapq; may hold stale entries
+        #: for buckets already drained — consumers skip those).
+        self._times: list = []
+        self._seq = 0
+        self._delivered = 0
+        self._cancelled = 0
+        #: Cancelled events still sitting in buckets awaiting lazy
+        #: removal (skipped at drain, or dropped by :meth:`_compact`).
+        self._corpses = 0
+        #: Timestamps whose bucket may be out of (priority, seq) order;
+        #: the drain sorts those once.  See the module docstring.
+        self._unsorted: set = set()
+        #: True while a run loop drains this queue: compaction would
+        #: desynchronize the live bucket iteration, so it is skipped.
+        self._draining = False
+        #: The list bucket the storm stage is currently delivering with
+        #: batched counters (None otherwise); lets a mid-drain clear()
+        #: reconcile the in-flight deliveries.
+        self._drain_bucket: Optional[list] = None
+        #: Bumped by clear(); the storm stage detects a mid-bucket clear
+        #: by comparing against the value snapshot at bucket start.
+        self._clear_epoch = 0
+        #: Deliveries of the interrupted bucket, counted by clear() for
+        #: the storm stage to fold into ``events_processed``.
+        self._flushed = 0
+
+    def __len__(self) -> int:
+        return self._seq - self._delivered - self._cancelled
+
+    # -- push ----------------------------------------------------------
+    def push(
+        self,
+        time: float,
+        fn: Callable[[], Any],
+        priority: int = 0,
+        label: str = "",
+    ) -> FastEvent:
+        """Schedule ``fn`` at absolute ``time`` and return its handle."""
+        seq = self._seq
+        self._seq = seq + 1
+        order = seq if priority == 0 else priority * SEQ_SPAN + seq
+        # Built empty then extended in place: list.__iadd__ skips the
+        # iterable-copy constructor, measurably cheaper on this path.
+        ev = FastEvent()
+        ev += (order, fn, time, label, self)
+        buckets = self._buckets
+        b = buckets.get(time)
+        if b is None:
+            buckets[time] = ev
+            heapq.heappush(self._times, time)
+        elif type(b) is list:
+            # An append keeps a sorted bucket sorted *iff* the current
+            # tail does not outrank it.  The packed-order compare is the
+            # exact condition — a priority push that still lands in
+            # order (the common resched cascade: p5 after p5, or p5
+            # after a tail of lower-priority wakeups) must NOT flag, or
+            # every barrier-width instant pays one tail sort per event.
+            # An already-flagged bucket is sorted at drain regardless,
+            # so comparing only the tail stays sound.  A list bucket is
+            # never empty (pop/_head/_compact prune emptied instants,
+            # clear drops the dict wholesale), so the tail index is safe.
+            if b[-1][0] > order:
+                self._unsorted.add(time)
+            b.append(ev)
+        else:
+            buckets[time] = [b, ev]
+            if b[0] > order:
+                self._unsorted.add(time)
+        return ev
+
+    # -- pop / peek ----------------------------------------------------
+    def _head(self) -> Optional[Tuple[float, Any]]:
+        """(time, bucket) of the earliest instant with a live event,
+        dropping stale time entries and leading corpses on the way.
+        List buckets are sorted if flagged, so ``bucket[0]`` (or the
+        singleton itself) is the next event to fire."""
+        buckets = self._buckets
+        times = self._times
+        while times:
+            t = times[0]
+            b = buckets.get(t)
+            if b is None:
+                heapq.heappop(times)
+                continue
+            if type(b) is not list:
+                if b[1] is None:
+                    heapq.heappop(times)
+                    del buckets[t]
+                    self._corpses -= 1
+                    continue
+                return t, b
+            if t in self._unsorted:
+                b.sort()
+                self._unsorted.discard(t)
+            while b and b[0][1] is None:
+                del b[0]
+                self._corpses -= 1
+            if not b:
+                heapq.heappop(times)
+                del buckets[t]
+                continue
+            return t, b
+        return None
+
+    def pop(self) -> Optional[FastEvent]:
+        """Remove and return the earliest pending event, skipping
+        cancelled entries.  Returns ``None`` when the queue is
+        exhausted."""
+        head = self._head()
+        if head is None:
+            return None
+        t, b = head
+        if type(b) is not list:
+            heapq.heappop(self._times)
+            del self._buckets[t]
+            ev = b
+        else:
+            ev = b[0]
+            del b[0]
+            if not b:
+                heapq.heappop(self._times)
+                del self._buckets[t]
+        ev[4] = False
+        self._delivered += 1
+        return ev
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest pending event, or ``None`` if empty."""
+        head = self._head()
+        return None if head is None else head[0]
+
+    # -- bulk operations ----------------------------------------------
+    def clear(self) -> None:
+        """Drop every pending event, marking each one cancelled so held
+        handles stop reporting ``active``.
+
+        Safe mid-drain: every list bucket is emptied *in place* (which
+        ends the engine's live iteration), and if the storm stage was
+        mid-bucket its already-delivered events — identified by the
+        ``False`` queue marker, counted only from the registered drain
+        bucket because the general stage's deliveries are already in the
+        counters — are folded into ``_delivered`` here.  The epoch bump
+        tells the storm stage to skip its own (now stale) batched
+        bucket-end reconciliation.
+        """
+        drain_b = self._drain_bucket
+        flushed = 0
+        if drain_b is not None:
+            for ev in drain_b:
+                if ev[4] is False:
+                    flushed += 1
+        for b in self._buckets.values():
+            if type(b) is list:
+                for ev in b:
+                    if ev[4].__class__ is FastEventQueue:
+                        ev[1] = None
+                        ev[4] = None
+                b.clear()
+            elif b[4].__class__ is FastEventQueue:
+                b[1] = None
+                b[4] = None
+        self._buckets.clear()
+        self._times.clear()
+        self._unsorted.clear()
+        self._delivered += flushed
+        self._cancelled = self._seq - self._delivered
+        self._corpses = 0
+        if drain_b is not None:
+            self._flushed += flushed
+            self._clear_epoch += 1
+            self._drain_bucket = None
+
+    def _compact(self) -> None:
+        """Drop cancelled corpses from every bucket and prune emptied
+        instants.  A no-op while a run loop is draining (removal would
+        desynchronize the live bucket iteration); the drain skips
+        corpses at native list-iteration speed anyway, so deferring
+        costs only their memory."""
+        if self._draining:
+            return
+        survivors: dict = {}
+        for t, b in self._buckets.items():
+            if type(b) is list:
+                keep = [ev for ev in b if ev[4].__class__ is FastEventQueue]
+                if not keep:
+                    continue
+                survivors[t] = keep[0] if len(keep) == 1 else keep
+            elif b[4].__class__ is FastEventQueue:
+                survivors[t] = b
+        self._buckets.clear()
+        self._buckets.update(survivors)
+        self._times[:] = list(survivors)
+        heapq.heapify(self._times)
+        self._unsorted &= set(survivors)
+        self._corpses = 0
+
+    # -- introspection -------------------------------------------------
+    def iter_entries(self) -> Iterator[Tuple[float, FastEvent]]:
+        """Yield ``(time, event)`` for every pending event, in no
+        particular order (the queue-agnostic scan used by the sharded
+        runner's action-bound computation)."""
+        for t, b in self._buckets.items():
+            if type(b) is list:
+                for ev in b:
+                    if ev[4].__class__ is FastEventQueue:
+                        yield t, ev
+            elif b[4].__class__ is FastEventQueue:
+                yield t, b
+
+    def live_count_check(self) -> Tuple[int, int]:
+        """``(tracked, actual)`` pending counts — ``tracked`` is the
+        derived count behind ``len()``, ``actual`` an O(n) bucket scan.
+        The validate invariants assert they agree."""
+        actual = sum(1 for _t, _ev in self.iter_entries())
+        return len(self), actual
+
+
+class FastSimulator(Simulator):
+    """:class:`Simulator` on a :class:`FastEventQueue`.
+
+    ``run()`` is two stages.  The *storm stage* handles the unobserved
+    configuration (no horizon, no oracle, no profiler, no fast-forward
+    chain families; a ``stop_when`` predicate is allowed and checked
+    after every delivery) with per-instant batched bookkeeping — the
+    ≥1.8× path.  Everything else, including a mid-run transition (a
+    kernel constructed inside an event registers chain families, which
+    need ``cur_event_prio`` tracking), falls through to the *general
+    stage*: same bucket drain, per-event exact bookkeeping,
+    horizon/oracle/profiler/stop_when hooks — matching the heap engine's
+    general path event for event.
+    """
+
+    def __init__(
+        self,
+        max_events: int = DEFAULT_MAX_EVENTS,
+        fastforward: Optional[bool] = None,
+        core: Optional[str] = None,
+    ) -> None:
+        super().__init__(max_events=max_events, fastforward=fastforward, core=core)
+        self.queue = FastEventQueue()
+        self.core = "fast"
+
+    # ``cur_event_prio`` is stored packed (the delivering event's
+    # ``order``) so the drain stores an int it already has; the
+    # fast-forward re-arm walk reads the unpacked priority through this
+    # property.  The base class assigns None, and ``step()`` assigns
+    # real priorities — the setter accepts both.
+    @property
+    def cur_event_prio(self) -> Optional[int]:
+        order = self._cur_order
+        return None if order is None else order // SEQ_SPAN
+
+    @cur_event_prio.setter
+    def cur_event_prio(self, value: Optional[int]) -> None:
+        self._cur_order = None if value is None else value * SEQ_SPAN
+
+    # ------------------------------------------------------------------
+    # Scheduling API (hand-inlined push, mirroring engine.at/after)
+    # ------------------------------------------------------------------
+    def at(
+        self,
+        time: float,
+        fn: Callable[[], Any],
+        priority: int = 0,
+        label: str = "",
+    ) -> FastEvent:
+        """Schedule ``fn`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {time} (< now {self.now})"
+            )
+        queue = self.queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        order = seq if priority == 0 else priority * SEQ_SPAN + seq
+        ev = FastEvent()  # see FastEventQueue.push on the += form
+        ev += (order, fn, time, label, queue)
+        buckets = queue._buckets
+        b = buckets.get(time)
+        if b is None:
+            buckets[time] = ev
+            heapq.heappush(queue._times, time)
+        elif type(b) is list:
+            # Same invariant as FastEventQueue.push: flag iff the
+            # current tail outranks this event (exact packed-order
+            # compare — in-order priority pushes must not flag).
+            if b[-1][0] > order:
+                queue._unsorted.add(time)
+            b.append(ev)
+        else:
+            buckets[time] = [b, ev]
+            if b[0] > order:
+                queue._unsorted.add(time)
+        return ev
+
+    def after(
+        self,
+        delay: float,
+        fn: Callable[[], Any],
+        priority: int = 0,
+        label: str = "",
+    ) -> FastEvent:
+        """Schedule ``fn`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        queue = self.queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        order = seq if priority == 0 else priority * SEQ_SPAN + seq
+        t = self.now + delay
+        ev = FastEvent()  # see FastEventQueue.push on the += form
+        ev += (order, fn, t, label, queue)
+        buckets = queue._buckets
+        b = buckets.get(t)
+        if b is None:
+            buckets[t] = ev
+            heapq.heappush(queue._times, t)
+        elif type(b) is list:
+            # Same invariant as FastEventQueue.push (see at()).
+            if b[-1][0] > order:
+                queue._unsorted.add(t)
+            b.append(ev)
+        else:
+            buckets[t] = [b, ev]
+            if b[0] > order:
+                queue._unsorted.add(t)
+        return ev
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Request the current :meth:`run` loop to stop after the event
+        being processed."""
+        self._stop_requested = True
+        # The storm stage folds its stop check into the existing
+        # ``if deferred:`` test; make sure that test fires.
+        if self._running and not self._deferred:
+            self._deferred.append(_stop_sentinel)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+        until_exclusive: bool = False,
+    ) -> float:
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stop_requested = False
+        queue = self.queue
+        processed = self.events_processed
+        queue._draining = True
+        try:
+            if (
+                until is None
+                and self.oracle is None
+                and self.profiler is None
+            ):
+                processed = self._run_storm(queue, processed, stop_when)
+            if not self._stop_requested:
+                processed = self._run_general(
+                    queue, processed, until, stop_when, until_exclusive
+                )
+            if until is not None and len(queue) == 0 and until > self.now:
+                self.now = until
+        finally:
+            self._running = False
+            self._cur_order = None
+            queue._draining = False
+            queue._drain_bucket = None
+        return self.now
+
+    def _run_storm(
+        self,
+        queue: FastEventQueue,
+        processed: int,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """The hot stage: batched per-instant bookkeeping, no horizon,
+        no oracle/profiler.  ``stop_when`` (when given) is evaluated
+        after every delivered event, exactly like the heap engine's
+        fast path, so predicate-bounded runs stop on the same event.
+        While fast-forward chain families are registered
+        (``_ff_users``, re-checked per instant) the delivering event's
+        packed order is stored per delivery so ``cur_event_prio`` stays
+        observable — kernel workloads keep the batched drain instead of
+        demoting to the general stage.  On any exception the in-flight
+        bucket is reconciled from the delivered markers
+        (``ev[4] is False``), so counters and bucket state stay exact
+        and ``run()`` can even be resumed after a handler error.
+        """
+        buckets = queue._buckets
+        times = queue._times
+        unsorted = queue._unsorted
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        max_events = self.max_events
+        deferred = self._deferred
+        t = 0.0
+        try:
+            while times:
+                # Hoisted per instant: chain families (the sole readers
+                # of ``cur_event_prio``) register at kernel construction,
+                # so within one instant the flag is stable enough — the
+                # heap path this mirrors also only exposes the priority
+                # of events delivered *after* registration.
+                track = self._ff_users
+                t = heappop(times)
+                b = buckets.pop(t, None)
+                if b is None:
+                    continue  # stale entry for an already-drained instant
+                if t < self.now:
+                    raise SimulationError(
+                        f"event at t={t} scheduled in the past (now={self.now})"
+                    )
+                if type(b) is not list:
+                    # Singleton instant: no bucket machinery, exact
+                    # per-event bookkeeping (same cost for one event).
+                    fn = b[1]
+                    if fn is None:
+                        queue._corpses -= 1
+                        continue
+                    self.now = t
+                    b[4] = False
+                    queue._delivered += 1
+                    processed += 1
+                    if processed > max_events:
+                        raise SimulationError(
+                            f"event limit {max_events} exceeded at "
+                            f"t={self.now}: likely a zero-delay event livelock"
+                        )
+                    if track:
+                        self._cur_order = b[0]
+                    fn()
+                    if deferred:
+                        self._run_deferred()
+                        if self._stop_requested:
+                            break
+                    if stop_when is not None and stop_when():
+                        self._stop_requested = True
+                        break
+                    continue
+                # List bucket: deliver the whole instant with one clock
+                # store and batched counter updates at the end.
+                buckets[t] = b  # stay visible so same-instant pushes append
+                if unsorted and t in unsorted:
+                    b.sort()
+                    unsorted.discard(t)
+                prev = self.now
+                self.now = t
+                k = len(b)
+                if processed + k > max_events and (
+                    processed + sum(1 for e in b if e[1] is not None)
+                    > max_events
+                ):
+                    raise SimulationError(
+                        f"event limit {max_events} exceeded at t={self.now}: "
+                        "likely a zero-delay event livelock"
+                    )
+                epoch = queue._clear_epoch
+                queue._drain_bucket = b
+                skipped = 0
+                stopped = False
+                i = 0  # consumed count when the drain breaks early
+                if stop_when is None and not track:
+                    # Leanest body — no predicate, no priority tracking,
+                    # and no per-event position counter: the consumed
+                    # count is recovered with one index() on the rare
+                    # early stop or same-instant append.  This is the
+                    # ≥1.8× storm path; keep it free of per-event
+                    # bookkeeping.
+                    for ev in b:
+                        fn = ev[1]
+                        if fn is None:
+                            skipped += 1  # cancelled before/during instant
+                            continue
+                        ev[4] = False
+                        fn()
+                        if deferred:
+                            self._run_deferred()
+                            if self._stop_requested:
+                                stopped = True
+                                i = b.index(ev) + 1
+                                break
+                        if len(b) != k:
+                            # Same-instant pushes landed (or clear()
+                            # emptied the bucket).  The list iterator
+                            # picks appended events up; the undelivered
+                            # tail is re-sorted only when a push actually
+                            # broke its order (the _unsorted flag), so
+                            # an append cascade stays linear in the
+                            # bucket width instead of quadratic.
+                            if queue._clear_epoch != epoch:
+                                break
+                            i = b.index(ev) + 1
+                            k = len(b)
+                            if processed + k > max_events and (
+                                processed
+                                + sum(1 for e in b if e[1] is not None)
+                                > max_events
+                            ):
+                                raise SimulationError(
+                                    f"event limit {max_events} exceeded "
+                                    f"at t={self.now}: likely a "
+                                    "zero-delay event livelock"
+                                )
+                            if t in unsorted:
+                                rest = b[i:]
+                                rest.sort()
+                                b[i:] = rest
+                                unsorted.discard(t)
+                else:
+                    # Same drain with a per-event position counter plus
+                    # the stop_when / cur_event_prio hooks — the kernel
+                    # and cluster path (predicate-bounded runs, chain
+                    # families).
+                    for ev in b:
+                        i += 1
+                        fn = ev[1]
+                        if fn is None:
+                            skipped += 1  # cancelled before/during instant
+                            continue
+                        ev[4] = False
+                        if track:
+                            self._cur_order = ev[0]
+                        fn()
+                        if deferred:
+                            self._run_deferred()
+                            if self._stop_requested:
+                                stopped = True
+                                break
+                        if stop_when is not None and stop_when():
+                            self._stop_requested = True
+                            stopped = True
+                            break
+                        if len(b) != k:
+                            # See the lean body's note on the flag-gated
+                            # tail resort.
+                            if queue._clear_epoch != epoch:
+                                break
+                            k = len(b)
+                            if processed + k > max_events and (
+                                processed
+                                + sum(1 for e in b if e[1] is not None)
+                                > max_events
+                            ):
+                                raise SimulationError(
+                                    f"event limit {max_events} exceeded "
+                                    f"at t={self.now}: likely a "
+                                    "zero-delay event livelock"
+                                )
+                            if t in unsorted:
+                                rest = b[i:]
+                                rest.sort()
+                                b[i:] = rest
+                                unsorted.discard(t)
+                if queue._clear_epoch != epoch:
+                    # Mid-bucket clear(): the queue reconciled its own
+                    # counters; fold the interrupted bucket's deliveries
+                    # into the processed count and move on.
+                    processed += queue._flushed
+                    queue._flushed = 0
+                    if self._stop_requested:
+                        break
+                    continue
+                queue._drain_bucket = None
+                n_done = i if stopped else len(b)
+                delivered = n_done - skipped
+                queue._delivered += delivered
+                queue._corpses -= skipped
+                processed += delivered
+                if delivered == 0:
+                    # Corpse-only instant: the heap engine would have
+                    # popped the corpses without advancing the clock.
+                    self.now = prev
+                if stopped and n_done < len(b):
+                    del b[:n_done]
+                    heappush(times, t)
+                elif buckets.get(t) is b:
+                    del buckets[t]
+                if stopped:
+                    break
+            return processed
+        except BaseException:
+            # Reconcile the in-flight bucket from the delivered markers:
+            # everything up to the last event marked False (inclusive)
+            # has been consumed — fold it into the counters and drop it
+            # from the bucket so state is exact when the error surfaces.
+            b = queue._drain_bucket
+            if b is not None:
+                queue._drain_bucket = None
+                n_done = 0
+                for idx in range(len(b) - 1, -1, -1):
+                    if b[idx][4] is False:
+                        n_done = idx + 1
+                        break
+                if n_done:
+                    delivered = sum(1 for ev in b[:n_done] if ev[4] is False)
+                    queue._delivered += delivered
+                    queue._corpses -= n_done - delivered
+                    processed += delivered
+                    del b[:n_done]
+                if b:
+                    heappush(times, t)
+                elif buckets.get(t) is b:
+                    del buckets[t]
+            raise
+        finally:
+            if queue._flushed:
+                # clear() interrupted a bucket and the normal
+                # reconciliation did not run (exception inside the same
+                # handler): pick the flushed deliveries up here.
+                processed += queue._flushed
+                queue._flushed = 0
+            self.events_processed = processed
+
+    def _run_general(
+        self,
+        queue: FastEventQueue,
+        processed: int,
+        until: Optional[float],
+        stop_when: Optional[Callable[[], bool]],
+        until_exclusive: bool,
+    ) -> int:
+        """Bucket drain with the heap engine's general-path semantics:
+        per-event exact bookkeeping (the validation oracle asserts the
+        live counters at every delivery), horizon peeking, priority
+        tracking for fast-forward re-arm walks, optional per-event-type
+        profiling."""
+        buckets = queue._buckets
+        times = queue._times
+        heappop = heapq.heappop
+        max_events = self.max_events
+        deferred = self._deferred
+        oracle = self.oracle
+        profiler = self.profiler
+        perf_counter = _time.perf_counter
+        b: Any = None
+        t = 0.0
+        n_done = 0
+        listed = False
+        try:
+            while not self._stop_requested:
+                b = None
+                head = queue._head()
+                if head is None:
+                    break
+                t, b = head
+                if until is not None and (
+                    t > until or (until_exclusive and t >= until)
+                ):
+                    b = None
+                    if until > self.now:
+                        self.now = until
+                    break
+                if t < self.now:
+                    b = None
+                    raise SimulationError(
+                        f"event at t={t} scheduled in the past (now={self.now})"
+                    )
+                listed = type(b) is list
+                if not listed:
+                    heappop(times)
+                    del buckets[t]
+                    b = [b]
+                self.now = t
+                k = len(b)
+                n_done = 0
+                for ev in b:
+                    n_done += 1
+                    fn = ev[1]
+                    if fn is None:
+                        queue._corpses -= 1
+                        continue
+                    ev[4] = False
+                    queue._delivered += 1
+                    processed += 1
+                    self.events_processed = processed
+                    if processed > max_events:
+                        raise SimulationError(
+                            f"event limit {max_events} exceeded at "
+                            f"t={self.now}: likely a zero-delay event livelock"
+                        )
+                    if oracle is not None:
+                        oracle.on_event(ev)
+                    self._cur_order = ev[0]
+                    if profiler is None:
+                        fn()
+                    else:
+                        t0 = perf_counter()
+                        fn()
+                        profiler.record(ev[3], perf_counter() - t0)
+                    if deferred:
+                        self._run_deferred()
+                    if stop_when is not None and stop_when():
+                        self._stop_requested = True
+                    if self._stop_requested:
+                        break
+                    if len(b) != k:
+                        if not b:
+                            break  # clear() emptied the bucket in place
+                        k = len(b)
+                        # Same-instant appends: sort the undelivered tail
+                        # only when a push actually broke its order (see
+                        # the storm-stage note on the _unsorted flag).
+                        if t in queue._unsorted:
+                            rest = b[n_done:]
+                            rest.sort()
+                            b[n_done:] = rest
+                            queue._unsorted.discard(t)
+                if listed:
+                    # t stays in the times heap for list buckets (only
+                    # _head removes it), so no re-push is needed when
+                    # events remain after an early stop.
+                    if n_done >= len(b):
+                        if buckets.get(t) is b:
+                            del buckets[t]
+                    else:
+                        del b[:n_done]
+                b = None
+            return processed
+        except BaseException:
+            # Counters are per-event exact here; only the structural
+            # prefix cleanup is pending.  Drop the consumed events so
+            # they cannot be re-delivered on a resumed run.
+            if listed and b is not None and n_done:
+                del b[:n_done]
+                if not b and buckets.get(t) is b:
+                    del buckets[t]
+            raise
+        finally:
+            self.events_processed = processed

@@ -1,0 +1,97 @@
+"""Per-event-type cost profiling for the simulation engines.
+
+``bench --profile`` activates an :class:`EventProfiler` for the
+duration of an (unmeasured) extra scenario pass; every simulator
+constructed while one is active picks it up and routes event delivery
+through the timed general path, attributing each callback's wall time
+to its event *type* — the label prefix before the first ``/``
+(``"tick/cpu0"`` → ``"tick"``), which is how the kernel and cluster
+layers namespace their labels.
+
+The active profiler is process-global rather than per-simulator because
+bench scenarios construct their simulators internally; threading a
+profiler argument through every harness entry point would touch every
+scenario signature for a diagnostics-only feature.  Profiled passes are
+never timed passes, so the observer overhead (two ``perf_counter``
+calls and a dict upsert per event) does not pollute recorded numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+#: Fallback type for events scheduled without a label.
+UNLABELED = "<unlabeled>"
+
+
+class EventProfiler:
+    """Accumulates per-event-type delivery counts and cumulative wall
+    time.  ``stats`` maps event type → ``[count, seconds]``."""
+
+    __slots__ = ("stats",)
+
+    def __init__(self) -> None:
+        self.stats: Dict[str, List[float]] = {}
+
+    def record(self, label: str, seconds: float) -> None:
+        """Attribute one delivered event's callback time to its type."""
+        key = label.partition("/")[0] or UNLABELED
+        entry = self.stats.get(key)
+        if entry is None:
+            self.stats[key] = [1, seconds]
+        else:
+            entry[0] += 1
+            entry[1] += seconds
+
+    def merge(self, other: "EventProfiler") -> None:
+        """Fold another profiler's stats into this one (multi-simulator
+        scenarios, e.g. the sharded cluster, profile each shard)."""
+        stats = self.stats
+        for key, (count, seconds) in other.stats.items():
+            entry = stats.get(key)
+            if entry is None:
+                stats[key] = [count, seconds]
+            else:
+                entry[0] += count
+                entry[1] += seconds
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """JSON-friendly view: type → {count, total_us, mean_us},
+        sorted by descending cumulative time."""
+        out: Dict[str, Dict[str, float]] = {}
+        for key, (count, seconds) in sorted(
+            self.stats.items(), key=lambda kv: -kv[1][1]
+        ):
+            total_us = seconds * 1e6
+            out[key] = {
+                "count": int(count),
+                "total_us": round(total_us, 3),
+                "mean_us": round(total_us / count, 4) if count else 0.0,
+            }
+        return out
+
+
+_active: Optional[EventProfiler] = None
+
+
+def activate_profiler(profiler: Optional[EventProfiler] = None) -> EventProfiler:
+    """Install ``profiler`` (or a fresh one) as the process-global active
+    profiler; simulators constructed afterwards record into it."""
+    global _active
+    if profiler is None:
+        profiler = EventProfiler()
+    _active = profiler
+    return profiler
+
+
+def deactivate_profiler() -> Optional[EventProfiler]:
+    """Remove and return the active profiler (None if none was set)."""
+    global _active
+    profiler = _active
+    _active = None
+    return profiler
+
+
+def get_active_profiler() -> Optional[EventProfiler]:
+    """The profiler new simulators should record into, if any."""
+    return _active

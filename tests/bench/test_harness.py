@@ -454,3 +454,108 @@ def test_cli_bench_unknown_scenario_errors(tmp_path, capsys):
     )
     assert code == 2
     assert "bogus" in captured.err
+
+
+# ----------------------------------------------------------------------
+# Schema 2: round statistics, median diff basis, profiled pass
+# ----------------------------------------------------------------------
+def test_records_carry_round_statistics(tiny_report):
+    report, _ = tiny_report
+    for rec in report.records.values():
+        # best-of-N can never exceed the median of the same rounds.
+        assert 0 < rec.wall_s <= rec.wall_median_s
+        assert rec.events_per_sec >= rec.events_per_sec_median > 0
+        assert rec.wall_cv == 0.0  # single round: no spread
+        assert rec.profile is None  # not a --profile run
+    data = report.to_dict()
+    chain = data["benchmarks"]["event_storm_chain"]
+    assert "wall_median_s" in chain and "wall_cv" in chain
+    assert "profile" not in chain  # optional block absent, not null
+
+
+def test_load_accepts_schema_1_reports(tmp_path):
+    path = tmp_path / "BENCH_v1.json"
+    path.write_text(json.dumps({"schema": 1, "benchmarks": {}}))
+    assert harness.load_report(path)["schema"] == 1
+
+
+def _rec_v2(eps, eps_median, events=1000):
+    return {
+        "events": events,
+        "events_per_sec": eps,
+        "events_per_sec_median": eps_median,
+        "params": {"events": 1000},
+    }
+
+
+def test_compare_prefers_median_when_both_reports_have_it():
+    cur = {"schema": 2, "benchmarks": {"b": _rec_v2(2000.0, 1000.0)}}
+    base = {"schema": 2, "benchmarks": {"b": _rec_v2(1000.0, 1000.0)}}
+    rows = harness.compare_reports(cur, base)
+    assert rows[0]["basis"] == "events_per_sec_median"
+    assert rows[0]["ratio"] == pytest.approx(1.0)  # medians equal
+
+
+def test_compare_falls_back_to_best_against_v1_baseline():
+    cur = {"schema": 2, "benchmarks": {"b": _rec_v2(2000.0, 1800.0)}}
+    base = {
+        "schema": 1,
+        "benchmarks": {
+            "b": {
+                "events": 1000,
+                "events_per_sec": 1000.0,
+                "params": {"events": 1000},
+            }
+        },
+    }
+    rows = harness.compare_reports(cur, base)
+    assert rows[0]["basis"] == "events_per_sec"
+    assert rows[0]["ratio"] == pytest.approx(2.0)
+
+
+def test_compare_wall_basis_uses_median_when_available():
+    def wrec(events, wall, wall_median):
+        return {
+            "events": events,
+            "wall_s": wall,
+            "wall_median_s": wall_median,
+            "events_per_sec": events / wall,
+            "events_per_sec_median": events / wall_median,
+            "params": {"events": 1000},
+        }
+
+    cur = {"schema": 2, "benchmarks": {"b": wrec(500, 1.0, 2.0)}}
+    base = {"schema": 2, "benchmarks": {"b": wrec(1000, 1.0, 1.0)}}
+    rows = harness.compare_reports(cur, base)  # event counts differ
+    assert rows[0]["basis"] == "wall_median_s"
+    assert rows[0]["ratio"] == pytest.approx(0.5)
+
+
+def test_profiled_run_attaches_event_type_table():
+    report = harness.run_suite(
+        quick=True,
+        rounds=1,
+        storm_events=2_000,
+        scenarios=["metbench_uniform"],
+        profiled=True,
+    )
+    profile = report.records["metbench_uniform"].profile
+    assert profile, "profiled pass produced no table"
+    # Kernel event types, namespaced by label prefix.
+    assert "resched" in profile and "phase" in profile
+    for row in profile.values():
+        assert row["count"] > 0
+        assert row["total_us"] >= 0.0
+    data = report.to_dict()
+    assert data["benchmarks"]["metbench_uniform"]["profile"] == profile
+
+
+def test_cli_bench_profile_prints_cost_table(tmp_path, capsys):
+    code, captured = _cli_bench(
+        tmp_path, capsys, "--label", "prof",
+        "--scenario", "event_storm_chain", "--profile",
+    )
+    assert code == 0
+    assert "per-event-type costs" in captured.out
+    data = harness.load_report(tmp_path / "BENCH_prof.json")
+    assert "profile" in data["benchmarks"]["event_storm_chain"]

@@ -1,0 +1,211 @@
+"""Differential property suite: ``FastEventQueue`` against the heap
+``EventQueue`` under random operation interleavings.
+
+The accelerated queue is a drop-in replacement for the heap queue, so
+the strongest oracle is the heap itself: drive both queues through the
+same randomized ``push``/``cancel``/``pop``/``peek``/``clear``/
+``compact`` sequences and require event-for-event agreement — same pop
+order (time, priority, seq), same ``peek_time``, same ``len()``, same
+``live_count_check`` live totals — at every step.  The bucket queue's
+own counter invariants (derived ``len``, corpse accounting) are checked
+against an O(n) scan after each step, mirroring
+``test_queue_counter_invariants`` for the heap representation.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.simcore.events import EventQueue
+from repro.simcore.fastcore import FastEventQueue
+
+
+def _scan_check(q: FastEventQueue) -> None:
+    """Assert the derived O(1) length against an O(n) bucket scan."""
+    live = 0
+    corpses = 0
+    for b in q._buckets.values():
+        evs = b if type(b) is list else [b]
+        for ev in evs:
+            if ev[1] is not None:
+                live += 1
+            else:
+                corpses += 1
+    assert len(q) == live
+    assert q._corpses == corpses >= 0
+    tracked, actual = q.live_count_check()
+    assert tracked == actual == live
+
+
+#: op, arg — arg picks times/handles; small time pool forces same-instant
+#: collisions (singleton→list bucket promotion) and tie-breaking.
+_OPS = st.tuples(
+    st.sampled_from(["push", "pushprio", "cancel", "pop", "peek", "clear", "compact"]),
+    st.integers(min_value=0, max_value=1 << 16),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_OPS, max_size=120))
+def test_property_fast_queue_agrees_with_heap(ops):
+    heap = EventQueue()
+    fast = FastEventQueue()
+    pairs = []  # (heap Event, FastEvent) handles, aligned
+    t = 0.0
+    for op, arg in ops:
+        if op in ("push", "pushprio"):
+            t += (arg % 5) * 0.25  # % 5 == 0 repeats the instant
+            prio = (arg % 7) if op == "pushprio" else 0
+            he = heap.push(t, lambda: None, priority=prio, label="x")
+            fe = fast.push(t, lambda: None, priority=prio, label="x")
+            assert fe.time == he.time == t
+            assert fe.priority == he.priority == prio
+            assert fe.seq == he.seq
+            pairs.append((he, fe))
+        elif op == "cancel" and pairs:
+            he, fe = pairs[arg % len(pairs)]
+            he.cancel()
+            fe.cancel()
+            assert fe.cancelled == he.cancelled
+        elif op == "pop":
+            he = heap.pop()
+            fe = fast.pop()
+            if he is None:
+                assert fe is None
+            else:
+                assert fe is not None
+                assert (fe.time, fe.priority, fe.seq) == (
+                    he.time,
+                    he.priority,
+                    he.seq,
+                )
+                assert not fe.cancelled and not he.cancelled
+        elif op == "peek":
+            assert fast.peek_time() == heap.peek_time()
+        elif op == "clear":
+            heap.clear()
+            fast.clear()
+        elif op == "compact":
+            heap._compact()
+            fast._compact()
+        assert len(fast) == len(heap)
+        _scan_check(fast)
+
+    # Drain both to exhaustion: total order must agree to the end.
+    while True:
+        he = heap.pop()
+        fe = fast.pop()
+        if he is None:
+            assert fe is None
+            break
+        assert (fe.time, fe.priority, fe.seq) == (he.time, he.priority, he.seq)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(_OPS, max_size=80))
+def test_property_iter_entries_agrees_with_heap(ops):
+    """``iter_entries`` (the sharded runner's scan API) yields the same
+    live (time, label, seq) multiset on both representations."""
+    heap = EventQueue()
+    fast = FastEventQueue()
+    pairs = []
+    t = 0.0
+    for op, arg in ops:
+        if op in ("push", "pushprio"):
+            t += (arg % 5) * 0.25
+            prio = (arg % 7) if op == "pushprio" else 0
+            lbl = f"l{arg % 3}"
+            pairs.append(
+                (
+                    heap.push(t, lambda: None, priority=prio, label=lbl),
+                    fast.push(t, lambda: None, priority=prio, label=lbl),
+                )
+            )
+        elif op == "cancel" and pairs:
+            he, fe = pairs[arg % len(pairs)]
+            he.cancel()
+            fe.cancel()
+        elif op == "pop":
+            heap.pop()
+            fast.pop()
+        elif op == "clear":
+            heap.clear()
+            fast.clear()
+        elif op == "compact":
+            heap._compact()
+            fast._compact()
+    h_view = sorted((tm, ev.label, ev.seq) for tm, ev in heap.iter_entries())
+    f_view = sorted((tm, ev.label, ev.seq) for tm, ev in fast.iter_entries())
+    assert f_view == h_view
+
+
+def test_cancel_after_delivery_is_inert():
+    """Cancelling an already-popped event must not corrupt counters
+    (the kernel cancels phase events that may have just delivered)."""
+    q = FastEventQueue()
+    ev = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    popped = q.pop()
+    assert popped is ev
+    ev.cancel()  # delivered, not pending: counters untouched
+    assert len(q) == 1
+    _scan_check(q)
+    ev.cancel()  # double-cancel equally inert
+    assert len(q) == 1
+    _scan_check(q)
+
+
+def test_same_instant_append_after_partial_drain_keeps_order():
+    """Regression (hypothesis-found): after a sort + partial drain
+    leaves a nonzero-priority event at a bucket's tail, a later
+    priority-0 push at the same instant outranks that tail and must
+    flag the bucket — through every inlined push site (queue.push,
+    FastSimulator.at, FastSimulator.after)."""
+    from repro.simcore.fastcore import FastSimulator
+
+    def sites():
+        q = FastEventQueue()
+        yield q, lambda prio, lbl: q.push(0.25, lambda: None, priority=prio, label=lbl)
+        sim = FastSimulator()
+        yield sim.queue, lambda prio, lbl: sim.at(0.25, lambda: None, priority=prio, label=lbl)
+        sim2 = FastSimulator()
+        yield sim2.queue, lambda prio, lbl: sim2.after(0.25, lambda: None, priority=prio, label=lbl)
+
+    for q, push in sites():
+        push(1, "hi")
+        push(0, "lo1")
+        first = q.pop()  # sorts the bucket, delivers lo1, hi stays as tail
+        assert first.label == "lo1"
+        push(0, "lo2")  # outranked by the hi tail: must flag, not append blind
+        assert q.pop().label == "lo2"
+        assert q.pop().label == "hi"
+        assert q.pop() is None
+
+
+def test_in_order_priority_appends_do_not_flag():
+    """A priority push that lands in order (p5 after p5, or p5 after a
+    lower-priority tail) must not mark the bucket unsorted — barrier
+    instants rely on this to avoid one tail sort per delivered event."""
+    q = FastEventQueue()
+    q.push(1.0, lambda: None, priority=1, label="w1")
+    q.push(1.0, lambda: None, priority=1, label="w2")  # in order: no flag
+    q.push(1.0, lambda: None, priority=5, label="r1")  # in order: no flag
+    q.push(1.0, lambda: None, priority=5, label="r2")  # in order: no flag
+    assert 1.0 not in q._unsorted
+    q.push(1.0, lambda: None, priority=3, label="mid")  # outranked tail: flag
+    assert 1.0 in q._unsorted
+    assert [q.pop().label for _ in range(5)] == ["w1", "w2", "mid", "r1", "r2"]
+
+
+def test_singleton_bucket_promotion_keeps_order():
+    """Second push at an instant promotes the singleton to a list; a
+    priority push must still deliver in (priority, seq) order."""
+    q = FastEventQueue()
+    order = []
+    q.push(1.0, lambda: order.append("p5"), priority=5)
+    q.push(1.0, lambda: order.append("p0a"), priority=0)
+    q.push(1.0, lambda: order.append("p0b"), priority=0)
+    while True:
+        ev = q.pop()
+        if ev is None:
+            break
+        ev.fn()
+    assert order == ["p0a", "p0b", "p5"]

@@ -111,7 +111,22 @@ def test_batched_loop_enforces_event_limit():
 
 
 def test_cur_event_prio_visible_during_delivery():
-    sim = Simulator(fastforward=True)
+    sim = Simulator(fastforward=True, core="heap")
+    seen = []
+    sim.at(1.0, lambda: seen.append(sim.cur_event_prio), priority=4)
+    sim.at(1.0, lambda: seen.append(sim.cur_event_prio), priority=7)
+    sim.run()
+    assert seen == [4, 7]
+    assert sim.cur_event_prio is None
+
+
+def test_cur_event_prio_visible_with_ff_users_fastcore():
+    # The accelerated core tracks the delivering event's priority only
+    # while fast-forward chain families are registered (``_ff_users``) —
+    # they are the sole consumer of ``cur_event_prio``.  Kernels bump
+    # the counter at construction.
+    sim = Simulator(fastforward=True, core="fast")
+    sim._ff_users += 1
     seen = []
     sim.at(1.0, lambda: seen.append(sim.cur_event_prio), priority=4)
     sim.at(1.0, lambda: seen.append(sim.cur_event_prio), priority=7)

@@ -9,6 +9,10 @@ suite drives random interleavings — including ``clear()`` fired from
 inside a handler mid-drain and cancels of other pending events from
 inside a handler — and asserts after every step that both counters match
 an O(n) scan of the heap.
+
+This suite pins ``core="heap"``: it asserts heap-representation
+internals (``_heap``, ``_live``).  The accelerated core's analogous
+invariants live in ``test_fastcore_queue_property.py``.
 """
 
 import pytest
@@ -111,7 +115,7 @@ def _storm(sim, n_events, clear_at, cancel_stride):
 @pytest.mark.parametrize("clear_at", [-1, 0, 17, 39])
 @pytest.mark.parametrize("cancel_stride", [0, 1, 3])
 def test_engine_drain_counters(fastforward, clear_at, cancel_stride):
-    sim = Simulator(fastforward=fastforward)
+    sim = Simulator(fastforward=fastforward, core="heap")
     _storm(sim, 40, clear_at, cancel_stride)
     sim.run()
     check_counters(sim.queue)
@@ -121,7 +125,7 @@ def test_engine_drain_counters(fastforward, clear_at, cancel_stride):
 @pytest.mark.parametrize("fastforward", [True, False])
 def test_engine_general_path_counters(fastforward):
     # until= forces the general (peek-first) path regardless of the flag.
-    sim = Simulator(fastforward=fastforward)
+    sim = Simulator(fastforward=fastforward, core="heap")
     pending = _storm(sim, 40, clear_at=-1, cancel_stride=2)
     sim.run(until=0.004)
     check_counters(sim.queue)
@@ -132,7 +136,7 @@ def test_engine_general_path_counters(fastforward):
 
 
 def test_cancel_currently_firing_event_is_counter_neutral():
-    sim = Simulator()
+    sim = Simulator(core="heap")
     holder = []
 
     def fire():
@@ -151,7 +155,7 @@ def test_mass_cancel_inside_handler_compacts_mid_drain(fastforward):
     # Simulator.run holds its local binding to the heap list.  The
     # rebuild mutates the list in place, so the drain must continue
     # seamlessly and the counters must survive the rebuild.
-    sim = Simulator(fastforward=fastforward)
+    sim = Simulator(fastforward=fastforward, core="heap")
     fired = []
     doomed = [
         sim.at(1.0 + i * 0.001, lambda i=i: fired.append(i))
@@ -178,7 +182,7 @@ def test_clear_during_batched_same_instant_group():
     # Three events at one instant; the first clears the queue.  The
     # batched loop's same-instant continuation must not double-count
     # the two entries clear() already removed.
-    sim = Simulator(fastforward=True)
+    sim = Simulator(fastforward=True, core="heap")
     fired = []
     sim.at(0.0, lambda: (fired.append("a"), sim.queue.clear()), priority=0)
     sim.at(0.0, lambda: fired.append("b"), priority=1)
