@@ -55,6 +55,7 @@ from repro.bench.scenarios import (
     DEFAULT_SYNTH_RANKS,
     cluster_metbench,
     cluster_metbench_sharded,
+    consume_sharded_stats,
     event_storm_chain,
     event_storm_deep,
     event_storm_timers,
@@ -95,17 +96,29 @@ SCENARIO_NAMES = (
     "event_storm_timers_stock",
     "event_storm_wide",
     "event_storm_wide_sharded",
+    "event_storm_wide_sharded_proc",
     "metbench_cfs",
     "metbench_uniform",
     "metbench_adaptive",
     "cluster_metbench_16",
     "cluster_metbench_64",
     "cluster_metbench_64_sharded",
+    "cluster_metbench_64_sharded_proc",
     "synth_scatter_64",
     "synth_convergence_64",
     "serve_throughput_1w",
     "serve_throughput_4w",
     "serve_throughput_warm",
+)
+
+#: Sharded scenarios that accept an explicit shard count — the targets
+#: of ``repro bench --shards-sweep``.  ``*_proc`` twins force the
+#: process (wire-protocol) transport regardless of host CPU count.
+SWEEPABLE_SCENARIOS = (
+    "event_storm_wide_sharded",
+    "event_storm_wide_sharded_proc",
+    "cluster_metbench_64_sharded",
+    "cluster_metbench_64_sharded_proc",
 )
 
 
@@ -128,6 +141,10 @@ class BenchRecord:
     #: Per-event-type cost table from the unmeasured ``--profile`` pass
     #: (type → {count, total_us, mean_us}); absent without --profile.
     profile: Optional[Dict[str, object]] = None
+    #: Attribution metadata that is *not* part of the comparable surface
+    #: (``compare_reports`` keys on name+params only): the sharded
+    #: scenarios record ``sync_rounds``/``wire_bytes``/``workers`` here.
+    meta: Optional[Dict[str, object]] = None
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready form of this record."""
@@ -144,6 +161,8 @@ class BenchRecord:
         }
         if self.profile is not None:
             out["profile"] = self.profile
+        if self.meta is not None:
+            out["meta"] = self.meta
         return out
 
 
@@ -240,6 +259,11 @@ class BenchReport:
     jobs: int = 1
     #: Logical CPUs the measuring host exposed; same caveat.
     host_cpus: int = field(default_factory=host_cpu_count)
+    #: Per-shard-count scaling rows from ``--shards-sweep``:
+    #: scenario → [{shards, wall_s, events_per_sec, sync_rounds,
+    #: wire_bytes, workers}, ...] so future PRs can track parallel
+    #: efficiency, not just single-point wall time.
+    scaling: Dict[str, List[Dict[str, object]]] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready form: schema header, metadata, benchmark table."""
@@ -259,6 +283,8 @@ class BenchReport:
             out["created"] = self.created
         if self.vs_baseline:
             out["vs_baseline"] = self.vs_baseline
+        if self.scaling:
+            out["scaling"] = self.scaling
         return out
 
 
@@ -376,41 +402,10 @@ def _entry_spec(
             lambda: event_storm_wide(DEFAULT_WIDE_CHAINS, DEFAULT_WIDE_NODES),
             {"chains": DEFAULT_WIDE_CHAINS, "nodes": DEFAULT_WIDE_NODES},
         )
-    if name == "event_storm_wide_sharded":
-        return (
-            lambda: event_storm_wide_sharded(
-                DEFAULT_WIDE_CHAINS,
-                DEFAULT_WIDE_NODES,
-                shards=DEFAULT_SHARDS,
-                workers=DEFAULT_SHARD_WORKERS,
-            ),
-            {
-                "chains": DEFAULT_WIDE_CHAINS,
-                "nodes": DEFAULT_WIDE_NODES,
-                "shards": DEFAULT_SHARDS,
-                "workers": DEFAULT_SHARD_WORKERS,
-            },
-        )
+    if "_sharded" in name:
+        return _sharded_spec(name, DEFAULT_SHARDS)
     if name.startswith("cluster_metbench_"):
-        rest = name[len("cluster_metbench_"):]
-        if rest.endswith("_sharded"):
-            nodes = int(rest[: -len("_sharded")])
-            return (
-                lambda: cluster_metbench_sharded(
-                    n_nodes=nodes,
-                    iterations=2,
-                    shards=DEFAULT_SHARDS,
-                    workers=DEFAULT_SHARD_WORKERS,
-                ),
-                {
-                    "nodes": nodes,
-                    "iterations": 2,
-                    "placements": "block+gang",
-                    "shards": DEFAULT_SHARDS,
-                    "workers": DEFAULT_SHARD_WORKERS,
-                },
-            )
-        nodes = int(rest)
+        nodes = int(name[len("cluster_metbench_"):])
         return (
             lambda: cluster_metbench(n_nodes=nodes, iterations=2),
             {"nodes": nodes, "iterations": 2, "placements": "block+gang"},
@@ -450,6 +445,53 @@ def _entry_spec(
     raise ValueError(f"unknown benchmark {name!r}")
 
 
+def _sharded_spec(
+    name: str, shards: int
+) -> Tuple[Callable[[], int], Dict[str, object]]:
+    """Callable + params of a sharded scenario at an explicit shard
+    count.  The ``_proc`` suffix forces ``workers="process"`` (the
+    wire-protocol transport) even on 1-CPU hosts; the base names use
+    :data:`DEFAULT_SHARD_WORKERS`."""
+    workers = DEFAULT_SHARD_WORKERS
+    base = name
+    if name.endswith("_proc"):
+        workers = "process"
+        base = name[: -len("_proc")]
+    if base == "event_storm_wide_sharded":
+        return (
+            lambda: event_storm_wide_sharded(
+                DEFAULT_WIDE_CHAINS,
+                DEFAULT_WIDE_NODES,
+                shards=shards,
+                workers=workers,
+            ),
+            {
+                "chains": DEFAULT_WIDE_CHAINS,
+                "nodes": DEFAULT_WIDE_NODES,
+                "shards": shards,
+                "workers": workers,
+            },
+        )
+    if base.startswith("cluster_metbench_") and base.endswith("_sharded"):
+        nodes = int(base[len("cluster_metbench_"): -len("_sharded")])
+        return (
+            lambda: cluster_metbench_sharded(
+                n_nodes=nodes,
+                iterations=2,
+                shards=shards,
+                workers=workers,
+            ),
+            {
+                "nodes": nodes,
+                "iterations": 2,
+                "placements": "block+gang",
+                "shards": shards,
+                "workers": workers,
+            },
+        )
+    raise ValueError(f"unknown sharded benchmark {name!r}")
+
+
 def _exec_entry(
     name: str,
     rounds: int,
@@ -460,7 +502,10 @@ def _exec_entry(
     """Measure one named benchmark; returns the record as a plain dict
     (this runs inside a worker process under ``--jobs``)."""
     fn, params = _entry_spec(name, quick, storm_events)
-    return _record(name, fn, rounds, params, profiled=profiled).to_dict()
+    consume_sharded_stats()  # clear any stale stats before measuring
+    rec = _record(name, fn, rounds, params, profiled=profiled)
+    rec.meta = consume_sharded_stats()
+    return rec.to_dict()
 
 
 def _plan(
@@ -498,9 +543,11 @@ def _plan(
     for name in (
         "event_storm_wide",
         "event_storm_wide_sharded",
+        "event_storm_wide_sharded_proc",
         "cluster_metbench_16",
         "cluster_metbench_64",
         "cluster_metbench_64_sharded",
+        "cluster_metbench_64_sharded_proc",
         "synth_scatter_64",
         "synth_convergence_64",
     ):
@@ -526,6 +573,69 @@ def _progress_line(rec: BenchRecord) -> str:
         f"{rec.name}: {rec.wall_s * 1e3:.1f} ms, "
         f"{rec.events} events ({rec.events_per_sec:,.0f} events/s)"
     )
+
+
+def run_shards_sweep(
+    shard_counts: Sequence[int],
+    scenarios: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    label: str = "local",
+    rounds: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> BenchReport:
+    """``repro bench --shards-sweep``: run each selected sharded scenario
+    at every shard count in ``shard_counts`` and emit a per-shard-count
+    scaling table.
+
+    Records are named ``<scenario>@s<k>`` (with ``shards`` in params, so
+    sweeps with different counts never get cross-compared) and the
+    report's ``scaling`` section aggregates ``(shards, wall_s,
+    events_per_sec, sync_rounds, wire_bytes)`` rows per scenario — the
+    parallel-efficiency curve future PRs diff, not just a single wall
+    time.  ``scenarios`` defaults to every sweepable scenario; non-sweep
+    scenarios in the filter are rejected.
+    """
+    if not shard_counts:
+        raise ValueError("--shards-sweep needs at least one shard count")
+    if any(k < 1 for k in shard_counts):
+        raise ValueError(f"shard counts must be >= 1, got {list(shard_counts)}")
+    if scenarios is None:
+        targets = list(SWEEPABLE_SCENARIOS)
+    else:
+        bad = sorted(set(scenarios) - set(SWEEPABLE_SCENARIOS))
+        if bad:
+            raise ValueError(
+                f"--shards-sweep only applies to sharded scenarios "
+                f"({', '.join(SWEEPABLE_SCENARIOS)}); got {', '.join(bad)}"
+            )
+        targets = list(scenarios)
+    n_rounds = min(rounds if rounds is not None else (3 if quick else 5), 2)
+    say = progress or (lambda _msg: None)
+    report = BenchReport(label=label, quick=quick)
+    for name in targets:
+        rows: List[Dict[str, object]] = []
+        for k in shard_counts:
+            fn, params = _sharded_spec(name, k)
+            consume_sharded_stats()
+            rec = _record(f"{name}@s{k}", fn, n_rounds, params)
+            rec.meta = consume_sharded_stats()
+            report.records[rec.name] = rec
+            say(_progress_line(rec))
+            stats = rec.meta or {}
+            rows.append(
+                {
+                    "shards": k,
+                    "wall_s": rec.wall_s,
+                    "wall_median_s": rec.wall_median_s,
+                    "events_per_sec": rec.events_per_sec,
+                    "sync_rounds": stats.get("sync_rounds", 0),
+                    "wire_bytes": stats.get("wire_bytes", 0),
+                    "workers": stats.get("workers", "inline"),
+                }
+            )
+        report.scaling[name] = rows
+    report.peak_rss_kb = _peak_rss_kb()
+    return report
 
 
 def run_suite(

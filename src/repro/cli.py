@@ -179,6 +179,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="with --sharded-parity: 16-node fixed configurations "
         "only, at 2 shards (CI fast-split smoke)",
     )
+    val.add_argument(
+        "--workers", choices=["inline", "process"], default="inline",
+        help="with --sharded-parity: shard transport for the sharded "
+        "side; 'process' forces the forked-worker wire protocol even "
+        "on 1-CPU hosts (default inline)",
+    )
     ben = sub.add_parser(
         "bench",
         help="run the performance benchmark suite and record/diff "
@@ -226,6 +232,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="run distinct benchmarks in N worker processes (recorded "
         "in the report; diffs against a report measured with a "
         "different jobs/CPU configuration print a warning)",
+    )
+    ben.add_argument(
+        "--shards-sweep", default=None, metavar="LIST",
+        help="comma-separated shard counts (e.g. 1,2,4,8): run each "
+        "selected sharded scenario at every count and emit a "
+        "per-shard-count scaling table (events/s, wall, sync_rounds) "
+        "into the report's 'scaling' section instead of the normal "
+        "suite",
     )
     ben.add_argument(
         "--profile", action="store_true",
@@ -1003,6 +1017,7 @@ def _sharded_parity(args) -> int:
         print(
             f"  {case.label:<24} {status}  events {case.events_serial}"
             f" -> {case.events_sharded} sharded, {case.windows} windows"
+            f" [{case.workers}]"
         )
         for line in case.mismatches:
             print(f"    {line}")
@@ -1013,6 +1028,7 @@ def _sharded_parity(args) -> int:
         nodes_fixed=(16,) if args.quick else (16, 64),
         shards_fixed=2 if args.quick else None,
         on_case=progress,
+        workers=args.workers,
     )
     print(report.summary())
     return 0 if report.ok else 1
@@ -1036,18 +1052,55 @@ def _bench(args) -> int:
         kwargs["scenarios"] = args.scenario
 
     try:
-        report = harness.run_suite(
-            quick=args.quick,
-            label=args.label,
-            rounds=args.rounds,
-            jobs=args.jobs,
-            profiled=args.profile,
-            progress=lambda line: print(f"  {line}"),
-            **kwargs,
-        )
+        if args.shards_sweep is not None:
+            try:
+                shard_counts = [
+                    int(tok) for tok in args.shards_sweep.split(",") if tok
+                ]
+            except ValueError:
+                print(
+                    f"--shards-sweep: expected comma-separated integers, "
+                    f"got {args.shards_sweep!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            report = harness.run_shards_sweep(
+                shard_counts,
+                scenarios=args.scenario,
+                quick=args.quick,
+                label=args.label,
+                rounds=args.rounds,
+                progress=lambda line: print(f"  {line}"),
+            )
+        else:
+            report = harness.run_suite(
+                quick=args.quick,
+                label=args.label,
+                rounds=args.rounds,
+                jobs=args.jobs,
+                profiled=args.profile,
+                progress=lambda line: print(f"  {line}"),
+                **kwargs,
+            )
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
+
+    if report.scaling:
+        print("\nshards-sweep scaling:")
+        for name, rows in report.scaling.items():
+            print(f"  {name}:")
+            print(
+                "    shards      wall_s      events/s  sync_rounds"
+                "   wire_bytes  workers"
+            )
+            for row in rows:
+                print(
+                    f"    {row['shards']:>6}  {row['wall_s']:>10.4f}"
+                    f"  {row['events_per_sec']:>12,.0f}"
+                    f"  {row['sync_rounds']:>11,}"
+                    f"  {row['wire_bytes']:>11,}  {row['workers']}"
+                )
 
     if args.profile:
         print("\nper-event-type costs (unmeasured profiled pass):")
@@ -1197,6 +1250,8 @@ def _cluster(args) -> int:
             "node_load_spread": spread,
             "events": result.events,
             "windows": result.windows,
+            "sync_rounds": result.sync_rounds,
+            "wire_bytes": result.wire_bytes,
             "rank_exit": {str(r): t for r, t in sorted(result.rank_exit.items())},
         }
         if not args.json:

@@ -52,6 +52,10 @@ class ClusterRunResult:
     shards: int = 1
     workers: str = "serial"
     windows: int = 0
+    #: Window barriers (== windows; the bench-facing name) and total
+    #: wire-protocol bytes crossing worker pipes (0 for inline/serial).
+    sync_rounds: int = 0
+    wire_bytes: int = 0
 
 
 def _worker(load: float, iterations: int):
@@ -143,4 +147,6 @@ def run_cluster_sharded(
         shards=result.n_shards,
         workers=result.workers,
         windows=result.windows,
+        sync_rounds=result.sync_rounds,
+        wire_bytes=result.wire_bytes,
     )

@@ -22,16 +22,40 @@ windows:
 
 **Adaptive windows.**  Fixed ``lookahead``-wide windows would need one
 barrier per 40–50 µs of simulated time — hundreds of thousands of
-round-trips for a multi-second run.  Instead each window's horizon is::
+round-trips for a multi-second run.  Each shard therefore reports *two*
+sound lower bounds per window: ``next_action`` (the earliest instant it
+can execute any event — the classic conservative bound) and
+``next_send`` (the earliest instant it can *emit a cross-shard
+directive*; compute phases are floored at ``now + remaining_work /
+rate_ceiling`` and bookkeeping events — ticks, resched slots, balance
+fires — are skipped).  The coordinator grants::
 
-    H = min(earliest_action over shards, earliest fresh directive) + L
+    bound     = min(next_action over shards, earliest fresh directive)
+    safe_send = min(next_send  over shards, earliest fresh directive)
+    H         = min(max(bound, safe_send) + L,  bound + scale * L)
 
-where ``earliest_action`` is a sound lower bound on the next instant a
-shard can *act* (send, arrive at a collective, or change shared-visible
-state).  Every event a shard executes inside the window has a timestamp
-at or above that bound, so every derived cross-shard directive lands at
-or after ``H`` — always injectable at the next window start, never in
-the past.
+``max(bound, safe_send)`` keeps the horizon at or above ``bound + L``
+(the minimum-time shard is always stepped, so progress is guaranteed)
+while the earliest-send bound proves no cross-shard directive can be
+born before ``safe_send`` — hence none can *arrive* before
+``safe_send + L >= H``, and injections never land in a shard's past
+(:meth:`ShardMPIRuntime._guard_injection` enforces this at runtime).
+``scale`` ramps multiplicatively: it doubles after every quiet window
+(no cross-shard traffic observed) and halves on a miss, so sync rounds
+per simulated second collapse during compute phases and snap back tight
+around communication bursts.
+
+**Wire protocol + delta reports.**  In the process transport each
+grant/report crossing a pipe is a single compact binary frame
+(:mod:`repro.cluster.wire`): struct-packed arrays keyed by
+``(send_time, src, seq)``, fixed-size headers, one ``send_bytes`` /
+``recv_bytes`` syscall per window per worker per direction.  Reports
+are *deltas* — the persistent worker keeps all simulator state and
+ships only the window's new cross-shard messages plus its two bounds;
+full per-rank results are fetched once, at the end of the run.  The
+coordinator accumulates ``sync_rounds`` (window barriers) and
+``wire_bytes`` (total frame bytes both directions) so bench runs can
+attribute scaling wins.
 
 **Parked balance timers.**  The dominant event class at cluster scale
 is the per-CPU load-balance timer (priority ``EVPRIO_BALANCE``), which
@@ -82,7 +106,7 @@ from __future__ import annotations
 
 import math
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Callable,
     Dict,
@@ -94,6 +118,7 @@ from typing import (
 )
 
 from repro.cluster.cluster import ClusterNode, InterconnectModel
+from repro.kernel.core_sched import _WORK_EPSILON
 from repro.cluster.gang import GangPlacement
 from repro.hpcsched.heuristics import Heuristic
 from repro.mpi.comm import Communicator
@@ -105,6 +130,23 @@ from repro.power5.perfmodel import CPU_BOUND, PerfProfile
 from repro.simcore.engine import Simulator
 
 _INF = math.inf
+
+#: Event labels that can never *emit* a cross-shard directive by
+#: themselves: scheduler bookkeeping (ticks, resched slots, balance
+#: fires) only reorders tasks, and a compute-phase completion is
+#: already lower-bounded by the earliest-send work floor (see
+#: ``ShardEngine._bounds``).  Everything else — MPI deliveries, isend
+#: acks, collective releases, sleep ends, unknown labels — counts as a
+#: potential send instant.
+_SEND_INERT_PREFIXES = ("tick/", "resched/", "balance/", "phase/")
+
+#: Ceiling on the adaptive window scale (the earliest-send bound is the
+#: real safety cap; this only bounds the integer).
+_SCALE_MAX = 1 << 20
+
+
+def _inert_label(label) -> bool:
+    return label is not None and label.startswith(_SEND_INERT_PREFIXES)
 
 
 class ShardedRunError(RuntimeError):
@@ -153,71 +195,19 @@ def plan_shards(n_nodes: int, n_shards: int) -> ShardPlan:
 
 
 # ----------------------------------------------------------------------
-# Wire records (picklable: they cross pipes in process mode)
+# Wire records — shared with the binary codec (re-exported here under
+# their historical names; see repro.cluster.wire for the frame layout)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class WireSend:
-    """A cross-shard point-to-point message, as externalized by the
-    source shard.  ``arrival_time`` was computed by the source (which
-    knows the full rank→node map), with the identical float expression
-    the serial runtime uses."""
-
-    src: int
-    dst: int
-    tag: int
-    size: int
-    send_time: float
-    arrival_time: float
-    seq: int  # source-shard message sequence, for deterministic ties
-    payload: object = None
-
-
-@dataclass(frozen=True)
-class WireArrival:
-    """One rank's arrival at a collective that spans shards."""
-
-    ckey: Tuple[int, ...]  # the communicator's rank tuple
-    kind: str
-    rank: int
-    time: float
-    comm_size: int
-
-
-@dataclass
-class WindowReport:
-    """What a shard tells the coordinator at a window barrier."""
-
-    shard_id: int
-    now: float
-    #: Lower bound on the next instant this shard can act (inf when
-    #: drained).  See the module docstring's horizon argument.
-    next_action: float
-    live: int
-    sends: List[WireSend] = field(default_factory=list)
-    arrivals: List[WireArrival] = field(default_factory=list)
-    exits: Dict[int, float] = field(default_factory=dict)
-
-
-@dataclass
-class WindowGrant:
-    """What the coordinator tells a shard at a window barrier."""
-
-    horizon: float
-    #: Sorted by (send_time, src_rank, seq) — the determinism rule.
-    deliveries: List[WireSend] = field(default_factory=list)
-    #: (release_time, rank, kind), in (arrival_time, rank) order.
-    wakes: List[Tuple[float, int, str]] = field(default_factory=list)
-
-
-@dataclass
-class ShardResult:
-    """Final per-shard accounting returned after the stop sentinel."""
-
-    shard_id: int
-    rank_exit: Dict[int, float]
-    events_processed: int
-    messages_sent: int
-    messages_delivered: int
+from repro.cluster.wire import (  # noqa: E402  (re-export)
+    ShardResult,
+    WindowGrant,
+    WindowReport,
+    WireArrival,
+    WireCodec,
+    WireSend,
+    FRAME_ERROR,
+    FRAME_STOP,
+)
 
 
 # ----------------------------------------------------------------------
@@ -352,9 +342,21 @@ class ShardMPIRuntime(MPIRuntime):
         return False  # park, like every serial collective arrival
 
     # -- injection (destination side) -----------------------------------
+    def _guard_injection(self, time: float, what: str) -> None:
+        """A directive landing in the shard's past would silently warp
+        the schedule; the conservative horizon protocol guarantees it
+        cannot happen, so a violation is a windowing bug — fail loudly
+        instead of drifting out of parity."""
+        if time < self.kernel.sim.now:
+            raise ShardedRunError(
+                f"conservative-window violation: {what} at t={time!r} "
+                f"injected into a shard already at t={self.kernel.sim.now!r}"
+            )
+
     def inject_delivery(self, wire: WireSend):
         """Schedule a cross-shard message's delivery locally; returns
         the event."""
+        self._guard_injection(wire.arrival_time, "message delivery")
         msg = Message(
             src=wire.src,
             dst=wire.dst,
@@ -375,6 +377,7 @@ class ShardMPIRuntime(MPIRuntime):
     def inject_wake(self, time: float, rank: int, kind: str):
         """Schedule a coordinator-computed collective release locally;
         returns the event."""
+        self._guard_injection(time, f"{kind} release")
         return self.kernel.sim.at(
             time,
             lambda: self._wake(rank),
@@ -457,6 +460,24 @@ class ShardEngine:
                 for lbl in kernel._lbl_balance.values():
                     self._label_kernel[lbl] = kernel
         self._launch(programs, placement, profile)
+        # Hard ceiling on any rank task's execution rate, for the
+        # earliest-send work floor (`_bounds`).  Both performance models
+        # clamp a thread's speed to the profile's single-thread mode
+        # (TableDrivenModel returns st_speed or a table entry;
+        # DecodeShareModel takes min(speed, st_speed)), so the fastest a
+        # profile can ever run is max(st_speedup, table entries).  The
+        # 1e-9 relative slack swamps float rounding in the floor
+        # division without costing measurable width (lookahead is ~µs,
+        # the slack ~ns of a typical phase).
+        ceiling = 1.0
+        for task in self.runtime.tasks.values():
+            prof = task.perf_profile
+            ceiling = max(
+                ceiling,
+                prof.st_speedup,
+                max(prof.dprio_speed.values(), default=1.0),
+            )
+        self._rate_ceiling = ceiling * (1.0 + 1e-9)
 
     # -- construction helpers -------------------------------------------
     def _note_live_change(self, delta: int) -> None:
@@ -566,43 +587,90 @@ class ShardEngine:
         ]
         return self._injected
 
-    def _next_action(self) -> float:
-        """Sound lower bound on the next instant this shard can send,
-        arrive at a collective, or change shared-visible state.  Parked
-        balance chains are excluded by construction (not in the heap),
-        and an armed balance fire on a currently-idle kernel is skipped
-        too: it cannot act unless some earlier-or-equal event enqueues
-        work first, and every such event is itself counted by this
-        scan."""
+    def _bounds(self) -> Tuple[float, float]:
+        """``(next_action, next_send)`` — two sound lower bounds.
+
+        ``next_action`` is the classic conservative bound: the earliest
+        pending heap event (parked balance chains are absent from the
+        heap by construction, and an armed balance fire on a
+        currently-idle kernel is skipped — it cannot act unless some
+        earlier-or-equal counted event enqueues work first).  Every
+        observable action happens at an event, so nothing can occur
+        below it — but it counts *inert* local timers (ticks, resched
+        slots), which pins windows to the ~10 ms tick period.
+
+        ``next_send`` bounds only what other shards can observe: the
+        earliest instant a cross-shard message or collective arrival can
+        be emitted.  Sends happen when a rank's *program* advances —
+        at a compute-phase completion or at a wakeup — never inside
+        tick/resched/balance bookkeeping.  For every runnable rank task
+        with phase work left, its program cannot advance before
+        ``now + remaining / rate_ceiling`` no matter how events reorder
+        or rates change (rates are capped by the profile's single-thread
+        mode, see ``_rate_ceiling``); wakeups (message deliveries, isend
+        acks, collective releases, sleep ends) are real heap events and
+        are counted directly.  A runnable rank task *without* phase work
+        (at launch, or mid instant-advance) can act at any scheduling
+        event, so its presence collapses ``next_send`` back to the
+        all-events bound — sound, just no wider than ``next_action``.
+        """
         if self.live <= 0:
             pending = self._unfired_directives()
-            if not pending:
-                return _INF
-            return min(ev.time for ev in pending)
+            t = min((ev.time for ev in pending), default=_INF)
+            return t, t
+        now = self.sim.now
+        ceiling = self._rate_ceiling
+        floor_all = False  # a rank may act at *any* scheduling event
+        send = _INF
+        for task in self.runtime.tasks.values():
+            if not task.runnable:
+                continue  # sleeping ranks wake only at counted events
+            rem = task.phase_remaining
+            started = task.phase_started_at
+            if started is not None and task.phase_rate > 0.0:
+                # Mirror Task.bank_progress's float expressions exactly:
+                # the true remaining work at `now` under the current
+                # (constant-since-rebase) rate.
+                rem = max(0.0, rem - max(0.0, (now - started) * task.phase_rate))
+            if rem > _WORK_EPSILON:
+                floor = now + rem / ceiling
+                if floor < send:
+                    send = floor
+            else:
+                floor_all = True
         label_kernel = self._label_kernel
-        best = _INF
+        action = _INF
         for t, ev in self.sim.queue.iter_entries():
-            if t >= best:
+            if t >= action and (floor_all or t >= send):
                 continue
             kernel = label_kernel.get(ev.label)
             if kernel is not None and kernel._queued_total == 0:
-                continue
-            best = t
-        return best
+                continue  # armed balance fire on an idle kernel: inert
+            if t < action:
+                action = t
+            if not floor_all and t < send and not _inert_label(ev.label):
+                send = t
+        if floor_all or send < action:
+            # Every send is an action, so next_action is itself a sound
+            # send bound; never report the weaker of the two.
+            send = action
+        return action, send
 
     def _report(self) -> WindowReport:
         rt = self.runtime
         sends, rt.outbox_sends = rt.outbox_sends, []
         arrivals, rt.outbox_arrivals = rt.outbox_arrivals, []
         exits, self._fresh_exits = self._fresh_exits, {}
+        next_action, next_send = self._bounds()
         return WindowReport(
             shard_id=self.shard_id,
             now=self.sim.now,
-            next_action=self._next_action(),
+            next_action=next_action,
             live=self.live,
             sends=sends,
             arrivals=arrivals,
             exits=exits,
+            next_send=next_send,
         )
 
 
@@ -745,47 +813,71 @@ class _InlineWorkers:
         pass
 
 
-def _process_worker_main(builder, conn) -> None:
+def _process_worker_main(builder, conn, world) -> None:
     """Forked worker: build the shard, then serve grant→report rounds
-    until the ``None`` stop sentinel."""
+    until the stop frame.  Every exchange is one binary frame over
+    ``send_bytes``/``recv_bytes`` — a single write per window."""
+    codec = WireCodec(world)
     try:
         engine = builder()
-        conn.send(("report", engine.initial_report()))
+        conn.send_bytes(codec.encode_report(engine.initial_report()))
         while True:
-            grant = conn.recv()
-            if grant is None:
-                conn.send(("result", engine.result()))
+            ftype, value = codec.decode(conn.recv_bytes())
+            if ftype == FRAME_STOP:
+                conn.send_bytes(codec.encode_result(engine.result()))
                 return
-            conn.send(("report", engine.step(grant)))
+            conn.send_bytes(codec.encode_report(engine.step(value)))
+    except (EOFError, BrokenPipeError):  # parent is gone; just exit
+        raise
     except BaseException as exc:  # surface the traceback to the parent
         import traceback
 
-        conn.send(("error", f"{exc}\n{traceback.format_exc()}"))
+        try:
+            conn.send_bytes(
+                codec.encode_error(f"{exc}\n{traceback.format_exc()}")
+            )
+        except (OSError, ValueError):  # pragma: no cover - pipe closed
+            pass
         raise
     finally:
         conn.close()
 
 
 class _ProcessWorkers:
-    """One forked worker per shard; grants/reports travel over pipes.
+    """One forked worker per shard; grants/reports travel over pipes as
+    single binary frames (:mod:`repro.cluster.wire`).
 
     Fork (not spawn) start method: worker arguments — including task
-    program closures — are inherited, never pickled.  Only the wire
-    records cross the pipes.
+    program closures — are inherited, never pickled.  Only wire frames
+    cross the pipes, and :attr:`wire_bytes` counts every byte in both
+    directions.
+
+    A worker that dies mid-window (killed, OOM, crash) surfaces as
+    :class:`ShardedRunError` carrying either the worker's own traceback
+    (sent as an error frame before re-raising) or its exit code (pipe
+    EOF without a frame); either way :meth:`close` reliably terminates
+    and joins every surviving worker, so no orphans outlive the run.
     """
 
     name = "process"
 
-    def __init__(self, builders: Sequence[Callable[[], ShardEngine]]) -> None:
+    def __init__(
+        self,
+        builders: Sequence[Callable[[], ShardEngine]],
+        world: Sequence[int],
+    ) -> None:
         import multiprocessing as mp
 
         ctx = mp.get_context("fork")
+        self.codec = WireCodec(world)
+        self.wire_bytes = 0
         self.conns = []
         self.procs = []
         for builder in builders:
             parent, child = ctx.Pipe()
             proc = ctx.Process(
-                target=_process_worker_main, args=(builder, child),
+                target=_process_worker_main,
+                args=(builder, child, tuple(world)),
                 daemon=True,
             )
             proc.start()
@@ -793,49 +885,89 @@ class _ProcessWorkers:
             self.conns.append(parent)
             self.procs.append(proc)
 
-    def _recv(self, conn):
-        kind, value = conn.recv()
-        if kind == "error":
-            self.close()
-            raise ShardedRunError(f"shard worker failed:\n{value}")
+    def _send(self, conn, frame: bytes) -> None:
+        self.wire_bytes += len(frame)
+        conn.send_bytes(frame)
+
+    def _recv(self, index: int):
+        try:
+            frame = self.conns[index].recv_bytes()
+        except (EOFError, OSError):
+            self._fail(index, None)
+        self.wire_bytes += len(frame)
+        ftype, value = self.codec.decode(frame)
+        if ftype == FRAME_ERROR:
+            self._fail(index, value)
         return value
 
+    def _fail(self, index: int, detail: Optional[str]) -> None:
+        """A worker died or reported an exception: reap everything,
+        then raise with the best diagnostics available."""
+        proc = self.procs[index]
+        self.close()
+        if detail is None:
+            code = proc.exitcode
+            detail = (
+                f"worker process exited with code {code} without a "
+                "report (killed or crashed mid-window)"
+            )
+        raise ShardedRunError(f"shard {index} worker failed:\n{detail}")
+
     def initial(self) -> List[WindowReport]:
-        return [self._recv(c) for c in self.conns]
+        return [self._recv(i) for i in range(len(self.conns))]
 
     def step(
         self, grants: Sequence[Optional[WindowGrant]]
     ) -> List[Optional[WindowReport]]:
-        # A skipped shard (None grant) costs no pipe round-trip at all.
+        # All grants go out before any report is awaited, so every
+        # granted worker runs its window concurrently; a skipped shard
+        # (None grant) costs no pipe round-trip at all.
         for conn, grant in zip(self.conns, grants):
             if grant is not None:
-                conn.send(grant)
+                self._send(conn, self.codec.encode_grant(grant))
         return [
-            self._recv(conn) if grant is not None else None
-            for conn, grant in zip(self.conns, grants)
+            self._recv(i) if grant is not None else None
+            for i, grant in enumerate(grants)
         ]
 
     def finish(self) -> List[ShardResult]:
+        stop = self.codec.encode_stop()
         for conn in self.conns:
-            conn.send(None)
-        results = [self._recv(c) for c in self.conns]
+            self._send(conn, stop)
+        results = [self._recv(i) for i in range(len(self.conns))]
         self.close()
         return results
 
     def close(self) -> None:
+        """Idempotent teardown: close pipes (workers blocked in
+        ``recv_bytes`` see EOF and exit), then join, escalating to
+        terminate/kill so a wedged worker can never be orphaned."""
         for conn in self.conns:
             try:
                 conn.close()
             except OSError:  # pragma: no cover - already closed
                 pass
         for proc in self.procs:
-            proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - hung worker
+            proc.join(timeout=1)
+            if proc.is_alive():
                 proc.terminate()
+                proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - unkillable worker
+                proc.kill()
+                proc.join()
 
 
 def _resolve_workers(workers: str, n_shards: int) -> str:
-    """auto → process on multi-core hosts with fork, inline otherwise."""
+    """auto → process only when the host has CPUs for it.
+
+    Two inline cutoffs: a <2-CPU host gains nothing from forking at
+    all, and a host with fewer than ``n_shards / 2`` usable CPUs would
+    time-slice so many workers per core that the per-window barrier
+    (every round waits for the *slowest* worker) eats the win — the
+    fork/pipe overhead then just makes the inline path slower.  At
+    ``cpus >= n_shards / 2`` each barrier round overlaps at least two
+    shards per core, which measures out ahead of inline.
+    """
     if workers not in ("auto", "inline", "process"):
         raise ValueError(
             f"workers must be auto, inline or process, got {workers!r}"
@@ -844,7 +976,8 @@ def _resolve_workers(workers: str, n_shards: int) -> str:
         return workers
     if n_shards < 2:
         return "inline"
-    if _usable_cpus() < 2 or not hasattr(os, "fork"):
+    cpus = _usable_cpus()
+    if cpus < 2 or 2 * cpus < n_shards or not hasattr(os, "fork"):
         return "inline"
     return "process"
 
@@ -876,6 +1009,12 @@ class ShardedRunResult:
     workers: str
     windows: int
     lookahead: float
+    #: Coordinator barrier rounds (== ``windows``; the bench-facing
+    #: name — the quantity the adaptive lookahead exists to minimize).
+    sync_rounds: int = 0
+    #: Total frame bytes exchanged over the process transport, both
+    #: directions (0 for inline: nothing is encoded in-process).
+    wire_bytes: int = 0
 
 
 def run_sharded(
@@ -953,7 +1092,8 @@ def run_sharded(
         )
 
     pool = (
-        _ProcessWorkers(builders) if mode == "process"
+        _ProcessWorkers(builders, range(len(programs)))
+        if mode == "process"
         else _InlineWorkers(builders)
     )
     coord = _Coordinator(
@@ -962,6 +1102,14 @@ def run_sharded(
         rank_shard=rank_shard,
         tree_base=runtime_base,
     )
+    # Adaptive window scale W: the horizon is allowed to run up to
+    # W * lookahead past the classic conservative bound, capped by the
+    # earliest-send bound which makes any width safe.  W doubles on a
+    # quiet round (no cross-shard traffic observed) and halves on a
+    # miss, so sustained compute stretches converge to earliest-send
+    # width within log2 rounds while communication-dense stretches
+    # fall back toward the classic one-lookahead window.
+    scale = 1
     try:
         reports = pool.initial()
         fresh = reports
@@ -969,9 +1117,11 @@ def run_sharded(
             # Route only the *fresh* reports: a skipped shard's report
             # was already consumed (its outbox routed) in the window
             # that produced it.
+            traffic = any(r.sends or r.arrivals for r in fresh)
             grants, directive_min = coord.route(fresh)
             total_live = sum(r.live for r in reports)
             action_min = min(r.next_action for r in reports)
+            send_min = min(r.next_send for r in reports)
             bound = min(action_min, directive_min)
             if total_live == 0:
                 t_stop = max(coord.all_exits.values(), default=0.0)
@@ -988,7 +1138,23 @@ def run_sharded(
                         f"{coord.incomplete_collectives()} collective(s) "
                         "incomplete"
                     )
-                horizon = bound + coord.lookahead
+                scale = max(1, scale // 2) if traffic else min(scale * 2, _SCALE_MAX)
+                # No shard can *send* below safe_send (see _bounds; a
+                # directive granted this round can trigger an immediate
+                # reply, hence the directive_min term), so every
+                # message generated inside the window arrives at or
+                # after safe_send + lookahead >= horizon — injectable
+                # next barrier, never in a shard's past.  bound is
+                # itself a send lower bound (sends happen at events),
+                # so take the wider of the two; and since
+                # horizon >= bound + lookahead always, the shard
+                # holding the minimum event is always stepped:
+                # guaranteed progress.
+                safe_send = min(send_min, directive_min)
+                horizon = min(
+                    max(bound, safe_send) + coord.lookahead,
+                    bound + scale * coord.lookahead,
+                )
             # Step only the shards this window can touch: something to
             # inject, or an event below the horizon.  A skipped shard's
             # event stream is unaffected — windows bound how far ahead
@@ -1031,4 +1197,6 @@ def run_sharded(
         workers=mode,
         windows=coord.windows,
         lookahead=lookahead,
+        sync_rounds=coord.windows,
+        wire_bytes=getattr(pool, "wire_bytes", 0),
     )

@@ -1,0 +1,488 @@
+"""Compact binary wire protocol for the sharded PDES transport.
+
+The process transport of :mod:`repro.cluster.sharded` exchanges one
+report and one grant per shard per window.  Pickling the dataclasses
+directly costs ~200 bytes per cross-shard message plus a full object
+graph walk per window — measurable overhead at tens of thousands of
+windows.  This module packs the window records into flat struct arrays:
+
+* every frame starts with a one-byte type tag
+  (:data:`FRAME_GRANT` … :data:`FRAME_ERROR`) followed by a fixed-size
+  header, so a worker can decode with a single ``struct`` unpack per
+  section — no per-field dispatch, no pickle machinery on the hot path;
+* cross-shard point-to-point messages are 48-byte records keyed by
+  ``(send_time, src, seq)`` — exactly the coordinator's deterministic
+  sort key — with times as raw IEEE-754 doubles (bit-exact round-trip,
+  a parity requirement, including ``inf`` bounds);
+* collective kinds and communicator rank-sets are interned into small
+  per-frame tables; the world communicator (by far the common case) is
+  a one-byte sentinel instead of an explicit rank array;
+* message payloads are rare (the repository's workloads send
+  zero-payload synchronization messages), so they ride in one trailing
+  pickle blob of ``(record_index, payload)`` pairs — an empty blob costs
+  4 bytes.
+
+Encode→decode is the identity on every record type (property-tested in
+``tests/cluster/test_wire.py``); :class:`WireCodec` counts the bytes it
+produces and parses so the transport can report ``wire_bytes``.
+
+The window dataclasses live here (not in ``sharded``) so the codec and
+the runner share them without a circular import; ``repro.cluster
+.sharded`` re-exports them under their historical names.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = [
+    "WireSend",
+    "WireArrival",
+    "WindowReport",
+    "WindowGrant",
+    "ShardResult",
+    "WireCodec",
+    "WireFormatError",
+    "FRAME_GRANT",
+    "FRAME_REPORT",
+    "FRAME_RESULT",
+    "FRAME_STOP",
+    "FRAME_ERROR",
+]
+
+
+# ----------------------------------------------------------------------
+# Window records (shared by both transports)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WireSend:
+    """A cross-shard point-to-point message, as externalized by the
+    source shard.  ``arrival_time`` was computed by the source (which
+    knows the full rank→node map), with the identical float expression
+    the serial runtime uses."""
+
+    src: int
+    dst: int
+    tag: int
+    size: int
+    send_time: float
+    arrival_time: float
+    seq: int  # source-shard message sequence, for deterministic ties
+    payload: object = None
+
+
+@dataclass(frozen=True)
+class WireArrival:
+    """One rank's arrival at a collective that spans shards."""
+
+    ckey: Tuple[int, ...]  # the communicator's rank tuple
+    kind: str
+    rank: int
+    time: float
+    comm_size: int
+
+
+@dataclass
+class WindowReport:
+    """What a shard tells the coordinator at a window barrier.
+
+    A report is a *delta*: the sends/arrivals/exits lists hold only
+    what happened since the previous barrier (the shard keeps all
+    cumulative state; final totals travel once, in a
+    :class:`ShardResult`)."""
+
+    shard_id: int
+    now: float
+    #: Lower bound on the next instant this shard can act (inf when
+    #: drained).  See the sharded module docstring's horizon argument.
+    next_action: float
+    live: int
+    sends: List[WireSend] = field(default_factory=list)
+    arrivals: List[WireArrival] = field(default_factory=list)
+    exits: Dict[int, float] = field(default_factory=dict)
+    #: Lower bound on the next instant this shard can *send* (emit a
+    #: cross-shard message or collective arrival).  Always >= the true
+    #: earliest send; usually far above ``next_action``, which also
+    #: counts inert local timers.  Drives the adaptive window widening.
+    next_send: float = 0.0
+
+
+@dataclass
+class WindowGrant:
+    """What the coordinator tells a shard at a window barrier."""
+
+    horizon: float
+    #: Sorted by (send_time, src_rank, seq) — the determinism rule.
+    deliveries: List[WireSend] = field(default_factory=list)
+    #: (release_time, rank, kind), in (arrival_time, rank) order.
+    wakes: List[Tuple[float, int, str]] = field(default_factory=list)
+
+
+@dataclass
+class ShardResult:
+    """Final per-shard accounting returned after the stop sentinel."""
+
+    shard_id: int
+    rank_exit: Dict[int, float]
+    events_processed: int
+    messages_sent: int
+    messages_delivered: int
+
+
+# ----------------------------------------------------------------------
+# Frame layout
+# ----------------------------------------------------------------------
+FRAME_GRANT = 1
+FRAME_REPORT = 2
+FRAME_RESULT = 3
+FRAME_STOP = 4
+FRAME_ERROR = 5
+
+#: One point-to-point record: send_time, arrival_time (f64 — bit-exact),
+#: tag (i64: MPI tags may be negative sentinels), size, seq (u64),
+#: src, dst (u32).
+_SEND = struct.Struct("<ddqQQII")
+#: One collective wake: release_time, rank, kind-table index.
+_WAKE = struct.Struct("<dIB")
+#: One collective arrival: time, rank, comm_size, kind index, comm index.
+_ARRIVAL = struct.Struct("<dIIBH")
+#: One rank exit: time, rank.
+_EXIT = struct.Struct("<dI")
+
+_GRANT_HDR = struct.Struct("<BdII")  # type, horizon, n_deliveries, n_wakes
+_REPORT_HDR = struct.Struct("<BIdddIIIII")
+# type, shard_id, now, next_action, next_send, live,
+# n_sends, n_arrivals, n_exits, n_comms
+_RESULT_HDR = struct.Struct("<BIQQQI")
+# type, shard_id, events, messages_sent, messages_delivered, n_exits
+_U8 = struct.Struct("<B")
+_U32 = struct.Struct("<I")
+
+#: Communicator-table entry flag: the world communicator, encoded as a
+#: sentinel instead of an explicit rank array.
+_COMM_WORLD = 1
+_COMM_EXPLICIT = 0
+
+
+class WireFormatError(ValueError):
+    """A frame does not decode as the expected type/layout."""
+
+
+class _Writer:
+    """Append-only frame builder over a bytearray."""
+
+    __slots__ = ("buf",)
+
+    def __init__(self) -> None:
+        self.buf = bytearray()
+
+    def pack(self, st: struct.Struct, *values) -> None:
+        self.buf += st.pack(*values)
+
+    def string(self, text: str) -> None:
+        raw = text.encode("utf-8")
+        if len(raw) > 0xFF:
+            raise WireFormatError(f"string too long for table: {text!r}")
+        self.buf += _U8.pack(len(raw))
+        self.buf += raw
+
+    def blob(self, raw: bytes) -> None:
+        self.buf += _U32.pack(len(raw))
+        self.buf += raw
+
+
+class _Reader:
+    """Sequential frame parser with bounds checking."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes, pos: int = 0) -> None:
+        self.data = data
+        self.pos = pos
+
+    def unpack(self, st: struct.Struct):
+        end = self.pos + st.size
+        if end > len(self.data):
+            raise WireFormatError("truncated frame")
+        values = st.unpack_from(self.data, self.pos)
+        self.pos = end
+        return values
+
+    def string(self) -> str:
+        (n,) = self.unpack(_U8)
+        end = self.pos + n
+        if end > len(self.data):
+            raise WireFormatError("truncated string")
+        text = self.data[self.pos:end].decode("utf-8")
+        self.pos = end
+        return text
+
+    def blob(self) -> bytes:
+        (n,) = self.unpack(_U32)
+        end = self.pos + n
+        if end > len(self.data):
+            raise WireFormatError("truncated blob")
+        raw = self.data[self.pos:end]
+        self.pos = end
+        return bytes(raw)
+
+
+def _encode_kind_table(writer: _Writer, kinds: Sequence[str]) -> Dict[str, int]:
+    if len(kinds) > 0xFF:
+        raise WireFormatError(f"{len(kinds)} collective kinds in one frame")
+    writer.pack(_U8, len(kinds))
+    index: Dict[str, int] = {}
+    for i, kind in enumerate(kinds):
+        writer.string(kind)
+        index[kind] = i
+    return index
+
+
+def _decode_kind_table(reader: _Reader) -> List[str]:
+    (n,) = reader.unpack(_U8)
+    return [reader.string() for _ in range(n)]
+
+
+def _encode_payloads(writer: _Writer, sends: Sequence[WireSend]) -> None:
+    pairs = [(i, w.payload) for i, w in enumerate(sends) if w.payload is not None]
+    writer.blob(pickle.dumps(pairs, protocol=pickle.HIGHEST_PROTOCOL) if pairs else b"")
+
+
+def _decode_payloads(reader: _Reader, sends: List[WireSend]) -> None:
+    raw = reader.blob()
+    if not raw:
+        return
+    for i, payload in pickle.loads(raw):
+        w = sends[i]
+        sends[i] = WireSend(
+            src=w.src,
+            dst=w.dst,
+            tag=w.tag,
+            size=w.size,
+            send_time=w.send_time,
+            arrival_time=w.arrival_time,
+            seq=w.seq,
+            payload=payload,
+        )
+
+
+class WireCodec:
+    """Symmetric encoder/decoder for the sharded window protocol.
+
+    Both endpoints construct it with the identical ``world_ranks``
+    sequence (the full rank id space, known to every shard at build
+    time), which lets the common world communicator travel as a
+    one-byte sentinel.
+    """
+
+    def __init__(self, world_ranks: Sequence[int]) -> None:
+        self._world: Tuple[int, ...] = tuple(world_ranks)
+
+    # -- grants ---------------------------------------------------------
+    def encode_grant(self, grant: WindowGrant) -> bytes:
+        """One grant frame: header, kind table, deliveries, wakes, payloads."""
+        w = _Writer()
+        w.pack(
+            _GRANT_HDR,
+            FRAME_GRANT,
+            grant.horizon,
+            len(grant.deliveries),
+            len(grant.wakes),
+        )
+        kinds = _dedup(k for _, _, k in grant.wakes)
+        kind_idx = _encode_kind_table(w, kinds)
+        for s in grant.deliveries:
+            w.pack(
+                _SEND, s.send_time, s.arrival_time, s.tag, s.size, s.seq,
+                s.src, s.dst,
+            )
+        for time, rank, kind in grant.wakes:
+            w.pack(_WAKE, time, rank, kind_idx[kind])
+        _encode_payloads(w, grant.deliveries)
+        return bytes(w.buf)
+
+    def _decode_grant(self, r: _Reader) -> WindowGrant:
+        _type, horizon, n_deliveries, n_wakes = r.unpack(_GRANT_HDR)
+        kinds = _decode_kind_table(r)
+        deliveries: List[WireSend] = []
+        for _ in range(n_deliveries):
+            send_time, arrival, tag, size, seq, src, dst = r.unpack(_SEND)
+            deliveries.append(
+                WireSend(
+                    src=src, dst=dst, tag=tag, size=size,
+                    send_time=send_time, arrival_time=arrival, seq=seq,
+                )
+            )
+        wakes: List[Tuple[float, int, str]] = []
+        for _ in range(n_wakes):
+            time, rank, ki = r.unpack(_WAKE)
+            wakes.append((time, rank, kinds[ki]))
+        _decode_payloads(r, deliveries)
+        return WindowGrant(horizon=horizon, deliveries=deliveries, wakes=wakes)
+
+    # -- reports --------------------------------------------------------
+    def encode_report(self, report: WindowReport) -> bytes:
+        """One report frame: header, kind/comm tables, sends, arrivals,
+        exits (sorted by rank), payloads."""
+        w = _Writer()
+        comms = _dedup(a.ckey for a in report.arrivals)
+        if len(comms) > 0xFFFF:
+            raise WireFormatError(f"{len(comms)} communicators in one frame")
+        w.pack(
+            _REPORT_HDR,
+            FRAME_REPORT,
+            report.shard_id,
+            report.now,
+            report.next_action,
+            report.next_send,
+            report.live,
+            len(report.sends),
+            len(report.arrivals),
+            len(report.exits),
+            len(comms),
+        )
+        kinds = _dedup(a.kind for a in report.arrivals)
+        kind_idx = _encode_kind_table(w, kinds)
+        comm_idx: Dict[Tuple[int, ...], int] = {}
+        for i, ckey in enumerate(comms):
+            comm_idx[ckey] = i
+            if ckey == self._world:
+                w.pack(_U8, _COMM_WORLD)
+            else:
+                w.pack(_U8, _COMM_EXPLICIT)
+                w.pack(_U32, len(ckey))
+                for rank in ckey:
+                    w.pack(_U32, rank)
+        for s in report.sends:
+            w.pack(
+                _SEND, s.send_time, s.arrival_time, s.tag, s.size, s.seq,
+                s.src, s.dst,
+            )
+        for a in report.arrivals:
+            w.pack(
+                _ARRIVAL, a.time, a.rank, a.comm_size, kind_idx[a.kind],
+                comm_idx[a.ckey],
+            )
+        for rank in sorted(report.exits):
+            w.pack(_EXIT, report.exits[rank], rank)
+        _encode_payloads(w, report.sends)
+        return bytes(w.buf)
+
+    def _decode_report(self, r: _Reader) -> WindowReport:
+        (
+            _type, shard_id, now, next_action, next_send, live,
+            n_sends, n_arrivals, n_exits, n_comms,
+        ) = r.unpack(_REPORT_HDR)
+        kinds = _decode_kind_table(r)
+        comms: List[Tuple[int, ...]] = []
+        for _ in range(n_comms):
+            (flag,) = r.unpack(_U8)
+            if flag == _COMM_WORLD:
+                comms.append(self._world)
+            else:
+                (count,) = r.unpack(_U32)
+                comms.append(
+                    tuple(r.unpack(_U32)[0] for _ in range(count))
+                )
+        sends: List[WireSend] = []
+        for _ in range(n_sends):
+            send_time, arrival, tag, size, seq, src, dst = r.unpack(_SEND)
+            sends.append(
+                WireSend(
+                    src=src, dst=dst, tag=tag, size=size,
+                    send_time=send_time, arrival_time=arrival, seq=seq,
+                )
+            )
+        arrivals: List[WireArrival] = []
+        for _ in range(n_arrivals):
+            time, rank, comm_size, ki, ci = r.unpack(_ARRIVAL)
+            arrivals.append(
+                WireArrival(
+                    ckey=comms[ci], kind=kinds[ki], rank=rank, time=time,
+                    comm_size=comm_size,
+                )
+            )
+        exits: Dict[int, float] = {}
+        for _ in range(n_exits):
+            time, rank = r.unpack(_EXIT)
+            exits[rank] = time
+        _decode_payloads(r, sends)
+        return WindowReport(
+            shard_id=shard_id,
+            now=now,
+            next_action=next_action,
+            live=live,
+            sends=sends,
+            arrivals=arrivals,
+            exits=exits,
+            next_send=next_send,
+        )
+
+    # -- results / control ----------------------------------------------
+    def encode_result(self, result: ShardResult) -> bytes:
+        """One final-result frame: totals header + per-rank exit times."""
+        w = _Writer()
+        w.pack(
+            _RESULT_HDR,
+            FRAME_RESULT,
+            result.shard_id,
+            result.events_processed,
+            result.messages_sent,
+            result.messages_delivered,
+            len(result.rank_exit),
+        )
+        for rank in sorted(result.rank_exit):
+            w.pack(_EXIT, result.rank_exit[rank], rank)
+        return bytes(w.buf)
+
+    def _decode_result(self, r: _Reader) -> ShardResult:
+        _type, shard_id, events, sent, delivered, n_exits = r.unpack(
+            _RESULT_HDR
+        )
+        rank_exit: Dict[int, float] = {}
+        for _ in range(n_exits):
+            time, rank = r.unpack(_EXIT)
+            rank_exit[rank] = time
+        return ShardResult(
+            shard_id=shard_id,
+            rank_exit=rank_exit,
+            events_processed=events,
+            messages_sent=sent,
+            messages_delivered=delivered,
+        )
+
+    def encode_stop(self) -> bytes:
+        """The one-byte stop sentinel (worker: send result and exit)."""
+        return bytes((FRAME_STOP,))
+
+    def encode_error(self, message: str) -> bytes:
+        """A worker-failure frame carrying the formatted traceback."""
+        return bytes((FRAME_ERROR,)) + message.encode("utf-8", "replace")
+
+    # -- dispatch -------------------------------------------------------
+    def decode(self, data: bytes):
+        """``(frame_type, value)`` for any frame; value is ``None`` for
+        stop frames and the message string for error frames."""
+        if not data:
+            raise WireFormatError("empty frame")
+        ftype = data[0]
+        r = _Reader(data)
+        if ftype == FRAME_GRANT:
+            return FRAME_GRANT, self._decode_grant(r)
+        if ftype == FRAME_REPORT:
+            return FRAME_REPORT, self._decode_report(r)
+        if ftype == FRAME_RESULT:
+            return FRAME_RESULT, self._decode_result(r)
+        if ftype == FRAME_STOP:
+            return FRAME_STOP, None
+        if ftype == FRAME_ERROR:
+            return FRAME_ERROR, data[1:].decode("utf-8", "replace")
+        raise WireFormatError(f"unknown frame type {ftype}")
+
+
+def _dedup(items) -> List:
+    """First-occurrence-ordered unique items (dict preserves order)."""
+    return list(dict.fromkeys(items))

@@ -45,6 +45,8 @@ class ParityCase:
     events_serial: int = 0
     events_sharded: int = 0
     windows: int = 0
+    #: Transport the sharded side ran under ("inline" or "process").
+    workers: str = "inline"
 
 
 @dataclass
@@ -78,8 +80,14 @@ def check_parity(
     loads: Optional[Sequence[float]] = None,
     use_hpc: bool = True,
     label: Optional[str] = None,
+    workers: str = "inline",
 ) -> ParityCase:
-    """Compare one serial run against its sharded twin bit-for-bit."""
+    """Compare one serial run against its sharded twin bit-for-bit.
+
+    ``workers`` selects the sharded transport — ``"process"`` forces the
+    forked-worker wire-protocol path even on 1-CPU hosts, so CI can
+    prove the binary frames round-trip bit-exactly.
+    """
     from repro.cluster.experiment import (
         ladder_loads,
         run_cluster,
@@ -92,7 +100,7 @@ def check_parity(
     )
     serial = run_cluster(strategy, **kwargs)
     sharded = run_cluster_sharded(
-        strategy, shards=shards, workers="inline", **kwargs
+        strategy, shards=shards, workers=workers, **kwargs
     )
 
     mismatches: List[str] = []
@@ -134,6 +142,7 @@ def check_parity(
         events_serial=serial.events,
         events_sharded=sharded.events,
         windows=sharded.windows,
+        workers=sharded.workers,
     )
 
 
@@ -172,14 +181,16 @@ def run_parity_suite(
     nodes_fixed: Sequence[int] = (16, 64),
     shards_fixed: Optional[int] = None,
     on_case: Optional[Callable[[ParityCase], None]] = None,
+    workers: str = "inline",
 ) -> ParityReport:
     """The full ``sharded-parity`` check: the paper's fixed
     ``cluster_metbench`` configurations under both placements plus
-    ``fuzz`` randomized cluster scenarios."""
+    ``fuzz`` randomized cluster scenarios.  ``workers`` is forwarded to
+    every case (``"process"`` exercises the wire-protocol transport)."""
     report = ParityReport()
 
     def run(**kwargs) -> None:
-        case = check_parity(**kwargs)
+        case = check_parity(workers=workers, **kwargs)
         report.cases.append(case)
         if on_case is not None:
             on_case(case)

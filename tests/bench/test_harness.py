@@ -153,6 +153,78 @@ def test_sharded_scenarios_carry_worker_params():
         assert rec.params["workers"] == harness.DEFAULT_SHARD_WORKERS
 
 
+def test_sharded_records_attach_sync_meta():
+    """Sharded scenario records carry the sync_rounds/wire_bytes
+    attribution in ``meta`` — outside params, so baseline comparability
+    is untouched — and the meta survives the JSON round trip."""
+    report = harness.run_suite(
+        quick=True,
+        rounds=1,
+        storm_events=2_000,
+        scenarios=["event_storm_wide_sharded"],
+    )
+    rec = report.records["event_storm_wide_sharded"]
+    assert rec.meta is not None
+    assert rec.meta["sync_rounds"] > 0
+    assert rec.meta["workers"] == harness.DEFAULT_SHARD_WORKERS
+    assert rec.to_dict()["meta"] == rec.meta
+    # Non-sharded records carry no meta at all.
+    plain = harness.run_suite(
+        quick=True, rounds=1, storm_events=2_000,
+        scenarios=["event_storm_chain"],
+    )
+    assert plain.records["event_storm_chain"].meta is None
+    assert "meta" not in plain.records["event_storm_chain"].to_dict()
+
+
+def test_proc_scenarios_force_process_transport():
+    """The ``*_proc`` twins pin ``workers="process"`` in params and
+    record nonzero wire_bytes — the wire protocol actually ran."""
+    report = harness.run_suite(
+        quick=True,
+        rounds=1,
+        storm_events=2_000,
+        scenarios=["event_storm_wide_sharded_proc"],
+    )
+    rec = report.records["event_storm_wide_sharded_proc"]
+    assert rec.params["workers"] == "process"
+    assert rec.meta["workers"] == "process"
+    assert rec.meta["wire_bytes"] > 0
+    assert rec.events > 0
+
+
+def test_shards_sweep_emits_scaling_table():
+    report = harness.run_shards_sweep(
+        [1, 2], scenarios=["event_storm_wide_sharded"], quick=True, rounds=1
+    )
+    names = list(report.records)
+    assert names == [
+        "event_storm_wide_sharded@s1",
+        "event_storm_wide_sharded@s2",
+    ]
+    assert report.records[names[0]].params["shards"] == 1
+    assert report.records[names[1]].params["shards"] == 2
+    rows = report.scaling["event_storm_wide_sharded"]
+    assert [row["shards"] for row in rows] == [1, 2]
+    for row in rows:
+        assert row["wall_s"] > 0
+        assert row["events_per_sec"] > 0
+        assert "sync_rounds" in row and "wire_bytes" in row
+    # 1 shard short-circuits the window machinery entirely.
+    assert rows[0]["sync_rounds"] == 0
+    assert rows[1]["sync_rounds"] > 0
+    assert report.to_dict()["scaling"] == report.scaling
+
+
+def test_shards_sweep_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        harness.run_shards_sweep([], scenarios=["event_storm_wide_sharded"])
+    with pytest.raises(ValueError):
+        harness.run_shards_sweep([0, 2], scenarios=["event_storm_wide_sharded"])
+    with pytest.raises(ValueError):
+        harness.run_shards_sweep([1], scenarios=["event_storm_chain"])
+
+
 def test_run_suite_parallel_jobs_matches_serial_structure():
     scenarios = ["event_storm_chain", "event_storm_deep"]
     serial = harness.run_suite(

@@ -160,7 +160,9 @@ def test_parity_with_barrier_on_equal_loads():
 # ----------------------------------------------------------------------
 def test_resolve_workers_decision_table(monkeypatch):
     """Pin the ``workers="auto"`` table: explicit modes pass through;
-    auto picks process only for ≥2 shards on a ≥2-CPU host with fork."""
+    auto picks process only when the host has ≥2 usable CPUs *and* at
+    least one CPU per two shards (``cpus >= n_shards/2``) — below that,
+    per-worker fork/pipe overhead dominates any overlap."""
     import repro.cluster.sharded as sh
 
     def fake_cpus(n):
@@ -179,6 +181,18 @@ def test_resolve_workers_decision_table(monkeypatch):
     # auto: a 1-CPU host must not spawn useless worker processes
     fake_cpus(1)
     assert sh._resolve_workers("auto", 4) == "inline"
+    # auto: CPUs must cover at least half the shards
+    fake_cpus(3)
+    assert sh._resolve_workers("auto", 8) == "inline"  # 3 < 8/2
+    assert sh._resolve_workers("auto", 6) == "process"  # 3 >= 6/2
+    fake_cpus(4)
+    assert sh._resolve_workers("auto", 8) == "process"  # 4 >= 8/2
+    assert sh._resolve_workers("auto", 9) == "inline"  # 4 < 9/2
+    # auto: the 2-CPU floor is independent of shard count
+    fake_cpus(2)
+    assert sh._resolve_workers("auto", 2) == "process"
+    assert sh._resolve_workers("auto", 4) == "process"  # 2 >= 4/2
+    assert sh._resolve_workers("auto", 5) == "inline"  # 2 < 5/2
 
 
 def test_resolve_workers_auto_is_affinity_aware(monkeypatch):
@@ -218,6 +232,147 @@ def test_plan_shards_rejects_degenerate_inputs():
         plan_shards(0, 2)
     with pytest.raises(ValueError):
         plan_shards(4, 0)
+
+
+# ----------------------------------------------------------------------
+# Process transport: wire protocol, stats, failure recovery
+# ----------------------------------------------------------------------
+def _no_orphans():
+    import multiprocessing as mp
+
+    return [p for p in mp.active_children() if p.is_alive()]
+
+
+def test_parity_process_transport_forced_on_any_host():
+    """2 shards through ``workers="process"`` — the wire-protocol path —
+    must match the serial run bit-for-bit even on a 1-CPU host (the CI
+    smoke for the binary transport)."""
+    kwargs = dict(loads=ladder_loads(8), iterations=1, n_nodes=2)
+    serial = run_cluster("gang", **kwargs)
+    sharded = run_cluster_sharded("gang", shards=2, workers="process", **kwargs)
+    assert sharded.workers == "process"
+    assert sharded.rank_exit == serial.rank_exit
+    assert sharded.exec_time == serial.exec_time
+    assert sharded.messages_sent == serial.messages_sent
+    assert sharded.messages_delivered == serial.messages_delivered
+    assert sharded.sync_rounds == sharded.windows > 0
+    assert sharded.wire_bytes > 0
+    assert _no_orphans() == []
+
+
+def test_inline_transport_reports_zero_wire_bytes():
+    result = run_cluster_sharded(
+        "block", loads=ladder_loads(8), iterations=1, n_nodes=2,
+        shards=2, workers="inline",
+    )
+    assert result.wire_bytes == 0
+    assert result.sync_rounds == result.windows
+
+
+def test_worker_killed_mid_run_raises_and_reaps():
+    """Fault injection: a shard worker SIGKILLed mid-window must surface
+    as ShardedRunError naming the shard, and every surviving worker must
+    be joined or terminated — no orphaned children."""
+    import os
+    import signal
+
+    from repro.cluster.sharded import ShardedRunError
+
+    def victim(load):
+        def factory(mpi: MPIRank):
+            def prog():
+                yield mpi.compute(load)
+                # Only ever executed inside the forked worker (the test
+                # forces workers="process" and never runs this serially).
+                os.kill(os.getpid(), signal.SIGKILL)
+                yield mpi.compute(load)
+
+            return prog()
+
+        return factory
+
+    programs = [_quiet(0.5) for _ in range(8)]
+    programs[7] = victim(0.25)  # node 1 -> shard 1 under 2-way block
+    with pytest.raises(ShardedRunError) as err:
+        run_sharded(
+            n_nodes=2,
+            programs=programs,
+            placement=block_placement(8, 2, 4),
+            heuristic_factory=None,
+            shards=2,
+            workers="process",
+        )
+    message = str(err.value)
+    assert "worker failed" in message
+    assert "killed or crashed mid-window" in message
+    assert _no_orphans() == []
+
+
+def test_worker_exception_carries_traceback_and_reaps():
+    """A worker that *raises* mid-window ships its traceback back over
+    the error frame before dying."""
+    from repro.cluster.sharded import ShardedRunError
+
+    def exploder(load):
+        def factory(mpi: MPIRank):
+            def prog():
+                yield mpi.compute(load)
+                raise RuntimeError("boom-in-shard")
+                yield  # pragma: no cover
+
+            return prog()
+
+        return factory
+
+    programs = [_quiet(0.5) for _ in range(8)]
+    programs[7] = exploder(0.25)
+    with pytest.raises(ShardedRunError) as err:
+        run_sharded(
+            n_nodes=2,
+            programs=programs,
+            placement=block_placement(8, 2, 4),
+            heuristic_factory=None,
+            shards=2,
+            workers="process",
+        )
+    message = str(err.value)
+    assert "boom-in-shard" in message
+    assert "Traceback" in message
+    assert _no_orphans() == []
+
+
+# ----------------------------------------------------------------------
+# Adaptive lookahead
+# ----------------------------------------------------------------------
+def test_adaptive_windows_bound_sync_rounds():
+    """The earliest-send bound + multiplicative widening must cover each
+    compute phase in a handful of windows, not one per lookahead: the
+    paper ladder at 2 iterations syncs orders of magnitude less often
+    than the fixed-width worst case (~exec_time / lookahead windows)."""
+    result = run_cluster_sharded(
+        "block", loads=ladder_loads(16), iterations=2, n_nodes=4,
+        shards=2, workers="inline",
+    )
+    fixed_width_rounds = result.exec_time / 5e-5  # lookahead scale
+    assert result.sync_rounds > 0
+    assert result.sync_rounds < 100
+    assert result.sync_rounds < fixed_width_rounds / 100
+
+
+def test_injection_guard_rejects_past_times():
+    """The runtime guard behind the conservative-window argument: any
+    directive landing strictly before a shard's clock is a loud error,
+    never a silent parity drift."""
+    from types import SimpleNamespace
+
+    from repro.cluster.sharded import ShardMPIRuntime, ShardedRunError
+
+    fake = SimpleNamespace(kernel=SimpleNamespace(sim=SimpleNamespace(now=1.0)))
+    # At or after the clock: fine.
+    ShardMPIRuntime._guard_injection(fake, 1.0, "message delivery")
+    ShardMPIRuntime._guard_injection(fake, 1.5, "barrier release")
+    with pytest.raises(ShardedRunError, match="conservative-window"):
+        ShardMPIRuntime._guard_injection(fake, 0.999, "message delivery")
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,279 @@
+"""Wire-protocol round-trip properties (encode→decode == identity).
+
+The sharded process transport's parity guarantee rests on the codec
+reproducing every record bit-exactly — times as raw IEEE-754 doubles
+(including the ``inf`` bounds of drained shards), full-range integer
+fields, same-timestamp ties, empty windows, and the max-seq edges of
+the u64 sequence counter.  Hypothesis drives the structured cases;
+deterministic tests pin the edges and the malformed-frame errors.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.wire import (
+    FRAME_ERROR,
+    FRAME_GRANT,
+    FRAME_REPORT,
+    FRAME_RESULT,
+    FRAME_STOP,
+    ShardResult,
+    WindowGrant,
+    WindowReport,
+    WireArrival,
+    WireCodec,
+    WireFormatError,
+    WireSend,
+)
+
+WORLD = tuple(range(8))
+
+u32 = st.integers(0, 2**32 - 1)
+u64 = st.integers(0, 2**64 - 1)
+i64 = st.integers(-(2**63), 2**63 - 1)
+#: Raw f64 payloads: any finite double plus the infinities the horizon
+#: bounds use (NaN excluded — times are never NaN, and NaN != NaN would
+#: break the identity check, not the codec).
+ftime = st.floats(allow_nan=False, allow_infinity=True, width=64)
+kind_text = st.text(min_size=1, max_size=24)
+payloads = st.one_of(
+    st.none(),
+    st.integers(),
+    st.text(max_size=16),
+    st.tuples(st.integers(), st.text(max_size=8)),
+)
+
+send_records = st.builds(
+    WireSend,
+    src=u32,
+    dst=u32,
+    tag=i64,
+    size=u64,
+    send_time=ftime,
+    arrival_time=ftime,
+    seq=u64,
+    payload=payloads,
+)
+
+comm_keys = st.one_of(
+    st.just(WORLD),
+    st.lists(u32, min_size=1, max_size=6, unique=True).map(tuple),
+)
+
+arrival_records = st.builds(
+    WireArrival,
+    ckey=comm_keys,
+    kind=kind_text,
+    rank=u32,
+    time=ftime,
+    comm_size=u32,
+)
+
+wakes = st.tuples(ftime, u32, kind_text)
+
+grants = st.builds(
+    WindowGrant,
+    horizon=ftime,
+    deliveries=st.lists(send_records, max_size=12),
+    wakes=st.lists(wakes, max_size=8),
+)
+
+reports = st.builds(
+    WindowReport,
+    shard_id=st.integers(0, 2**32 - 1),
+    now=ftime,
+    next_action=ftime,
+    live=st.integers(0, 2**32 - 1),
+    sends=st.lists(send_records, max_size=12),
+    arrivals=st.lists(arrival_records, max_size=8),
+    exits=st.dictionaries(u32, ftime, max_size=8),
+    next_send=ftime,
+)
+
+results = st.builds(
+    ShardResult,
+    shard_id=st.integers(0, 2**32 - 1),
+    rank_exit=st.dictionaries(u32, ftime, max_size=12),
+    events_processed=u64,
+    messages_sent=u64,
+    messages_delivered=u64,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(grants)
+def test_grant_round_trip(grant):
+    codec = WireCodec(WORLD)
+    ftype, decoded = codec.decode(codec.encode_grant(grant))
+    assert ftype == FRAME_GRANT
+    assert decoded == grant
+
+
+@settings(max_examples=200, deadline=None)
+@given(reports)
+def test_report_round_trip(report):
+    codec = WireCodec(WORLD)
+    ftype, decoded = codec.decode(codec.encode_report(report))
+    assert ftype == FRAME_REPORT
+    assert decoded == report
+
+
+@settings(max_examples=100, deadline=None)
+@given(results)
+def test_result_round_trip(result):
+    codec = WireCodec(WORLD)
+    ftype, decoded = codec.decode(codec.encode_result(result))
+    assert ftype == FRAME_RESULT
+    assert decoded == result
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.text(max_size=200))
+def test_error_frame_round_trip(message):
+    codec = WireCodec(WORLD)
+    ftype, decoded = codec.decode(codec.encode_error(message))
+    assert ftype == FRAME_ERROR
+    assert decoded == message
+
+
+def test_stop_frame_round_trip():
+    codec = WireCodec(WORLD)
+    assert codec.decode(codec.encode_stop()) == (FRAME_STOP, None)
+
+
+# ----------------------------------------------------------------------
+# Deterministic edges the fuzz might not pin every run
+# ----------------------------------------------------------------------
+def _send(seq, t=1.25, payload=None):
+    return WireSend(
+        src=0, dst=1, tag=-1, size=64, send_time=t, arrival_time=t + 5e-5,
+        seq=seq, payload=payload,
+    )
+
+
+def test_same_timestamp_ties_keep_order_and_seq():
+    """Messages at the bit-identical instant differ only by seq — the
+    coordinator's tiebreaker — and must come back in list order."""
+    codec = WireCodec(WORLD)
+    report = WindowReport(
+        shard_id=3, now=1.25, next_action=1.3, live=4,
+        sends=[_send(0), _send(1), _send(2)], next_send=1.3,
+    )
+    _, decoded = codec.decode(codec.encode_report(report))
+    assert [s.seq for s in decoded.sends] == [0, 1, 2]
+    assert decoded == report
+
+
+def test_empty_window_report_is_small_and_identical():
+    """A quiet window — the common case the delta design optimizes —
+    carries no arrays and stays well under one cache line + header."""
+    codec = WireCodec(WORLD)
+    report = WindowReport(
+        shard_id=0, now=2.0, next_action=2.5, live=8, next_send=3.0
+    )
+    raw = codec.encode_report(report)
+    assert len(raw) < 64
+    assert codec.decode(raw) == (FRAME_REPORT, report)
+
+
+def test_max_seq_and_extreme_field_edges():
+    codec = WireCodec(WORLD)
+    edge = WireSend(
+        src=2**32 - 1, dst=0, tag=-(2**63), size=2**64 - 1,
+        send_time=5e-324, arrival_time=math.inf, seq=2**64 - 1,
+    )
+    grant = WindowGrant(horizon=math.inf, deliveries=[edge])
+    _, decoded = codec.decode(codec.encode_grant(grant))
+    assert decoded.deliveries[0] == edge
+    assert decoded.deliveries[0].seq == 2**64 - 1
+    assert math.isinf(decoded.deliveries[0].arrival_time)
+
+
+def test_infinite_bounds_round_trip_bit_exact():
+    """Drained shards report inf bounds; inf must survive the f64 pack."""
+    codec = WireCodec(WORLD)
+    report = WindowReport(
+        shard_id=1, now=4.0, next_action=math.inf, live=0,
+        next_send=math.inf,
+    )
+    _, decoded = codec.decode(codec.encode_report(report))
+    assert decoded.next_action == math.inf
+    assert decoded.next_send == math.inf
+
+
+def test_world_communicator_travels_as_sentinel():
+    """The world ckey must not serialize its rank array — and an
+    explicit non-world communicator must."""
+    codec = WireCodec(WORLD)
+    world_arr = WireArrival(
+        ckey=WORLD, kind="barrier", rank=1, time=1.0, comm_size=8
+    )
+    sub = tuple(range(4))
+    sub_arr = WireArrival(
+        ckey=sub, kind="barrier", rank=2, time=1.0, comm_size=4
+    )
+    base = WindowReport(shard_id=0, now=1.0, next_action=2.0, live=8)
+    raw_world = codec.encode_report(
+        WindowReport(
+            shard_id=0, now=1.0, next_action=2.0, live=8,
+            arrivals=[world_arr],
+        )
+    )
+    raw_sub = codec.encode_report(
+        WindowReport(
+            shard_id=0, now=1.0, next_action=2.0, live=8, arrivals=[sub_arr]
+        )
+    )
+    # Sentinel world comm: 1 flag byte; explicit comm: flag + count + ranks.
+    assert len(raw_sub) == len(raw_world) + 4 + 4 * len(sub)
+    assert codec.decode(raw_world)[1].arrivals == [world_arr]
+    assert codec.decode(raw_sub)[1].arrivals == [sub_arr]
+    assert codec.decode(codec.encode_report(base))[1].arrivals == []
+
+
+def test_payloads_ride_in_trailing_blob():
+    codec = WireCodec(WORLD)
+    grant = WindowGrant(
+        horizon=2.0,
+        deliveries=[_send(0), _send(1, payload={"k": [1, 2]}), _send(2)],
+    )
+    _, decoded = codec.decode(codec.encode_grant(grant))
+    assert decoded.deliveries[0].payload is None
+    assert decoded.deliveries[1].payload == {"k": [1, 2]}
+    assert decoded.deliveries[2].payload is None
+
+
+def test_payload_free_grant_has_no_pickle_overhead():
+    """Zero-payload windows (every workload in this repo) must not pay
+    pickle: the trailing blob is exactly the 4-byte empty length."""
+    codec = WireCodec(WORLD)
+    raw = codec.encode_grant(WindowGrant(horizon=1.0, deliveries=[_send(0)]))
+    assert raw[-4:] == b"\x00\x00\x00\x00"
+
+
+def test_malformed_frames_raise_wire_format_error():
+    codec = WireCodec(WORLD)
+    with pytest.raises(WireFormatError):
+        codec.decode(b"")
+    with pytest.raises(WireFormatError):
+        codec.decode(bytes([99]))  # unknown frame type
+    whole = codec.encode_report(
+        WindowReport(shard_id=0, now=1.0, next_action=2.0, live=1)
+    )
+    with pytest.raises(WireFormatError):
+        codec.decode(whole[: len(whole) - 3])  # truncated frame
+
+
+def test_codec_is_transport_symmetric():
+    """Distinct codec instances built with the same world decode each
+    other's frames — the property the forked workers rely on."""
+    a, b = WireCodec(WORLD), WireCodec(WORLD)
+    report = WindowReport(
+        shard_id=2, now=1.0, next_action=1.5, live=3,
+        sends=[_send(0)], exits={5: 0.75},
+    )
+    assert b.decode(a.encode_report(report)) == (FRAME_REPORT, report)
+    assert a.decode(b.encode_stop()) == (FRAME_STOP, None)
